@@ -1,0 +1,58 @@
+"""Ablation — where the time goes.
+
+Splits each benchmark's critical-processor time into computation,
+communication software, and waiting, for the baseline and the fully
+optimized program.  This makes the paper's verbal diagnoses quantitative:
+TOMCATV's waits come from its sequential solver, SIMPLE's software share
+is the largest (which is why removing and combining messages pays most
+there), and pipelining converts waiting into overlap.
+"""
+
+from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro.analysis import format_table
+from repro.analysis.profile import breakdown_of, breakdown_table
+from repro.programs import BENCHMARKS, build_benchmark
+
+
+def test_time_breakdown(benchmark, record_table):
+    machine = t3d(64, "pvm")
+    program = build_benchmark("tomcatv", opt=OptimizationConfig.baseline())
+    benchmark.pedantic(
+        lambda: simulate(program, machine, ExecutionMode.TIMING),
+        rounds=3,
+        iterations=1,
+    )
+
+    results = {}
+    for bench in BENCHMARKS:
+        for label, cfg in [
+            ("baseline", OptimizationConfig.baseline()),
+            ("pl", OptimizationConfig.full()),
+        ]:
+            prog = build_benchmark(bench, opt=cfg)
+            results[f"{bench} {label}"] = simulate(
+                prog, machine, ExecutionMode.TIMING
+            )
+
+    headers, rows = breakdown_table(results)
+    text = format_table(
+        headers,
+        rows,
+        title="Ablation — critical-processor time breakdown (PVM)",
+    )
+    text += (
+        "\n\ncolumns are fractions of the critical processor's clock; "
+        "compute + comm sw + wait = 1 by construction."
+    )
+    record_table("ablation_breakdown", text)
+
+    # accounting is exact
+    for result in results.values():
+        b = breakdown_of(result)
+        assert abs(b.compute + b.comm_sw + b.wait - b.total) < 1e-9
+
+    # optimization reduces the communication share on every benchmark
+    for bench in BENCHMARKS:
+        base = breakdown_of(results[f"{bench} baseline"])
+        full = breakdown_of(results[f"{bench} pl"])
+        assert full.comm_sw + full.wait < base.comm_sw + base.wait

@@ -1,0 +1,59 @@
+"""Ablation — optimization benefit vs machine size.
+
+The paper fixes 64 processors.  Sweeping the partition size shows how
+the optimizations' value moves with the surface-to-volume ratio: smaller
+partitions mean larger local blocks, more computation per transferred
+byte, and thinner communication savings.
+"""
+
+from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro.analysis import format_table
+from repro.programs import build_benchmark
+
+PROCS = (4, 16, 64)
+
+
+def test_scaling(benchmark, record_table):
+    programs = {
+        key: build_benchmark("swm", opt=cfg)
+        for key, cfg in [
+            ("baseline", OptimizationConfig.baseline()),
+            ("pl", OptimizationConfig.full()),
+        ]
+    }
+    benchmark.pedantic(
+        lambda: simulate(
+            programs["pl"], t3d(16, "pvm"), ExecutionMode.TIMING
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for nprocs in PROCS:
+        machine = t3d(nprocs, "pvm")
+        base = simulate(programs["baseline"], machine, ExecutionMode.TIMING)
+        full = simulate(programs["pl"], machine, ExecutionMode.TIMING)
+        rows.append(
+            [
+                nprocs,
+                base.time,
+                full.time,
+                full.time / base.time,
+                base.dynamic_comm_count,
+            ]
+        )
+    text = format_table(
+        ["procs", "baseline (s)", "pl (s)", "pl scaled", "baseline dyn comms"],
+        rows,
+        title="Ablation — SWM optimization benefit vs partition size",
+    )
+    record_table("ablation_scaling", text)
+
+    scaled = [row[3] for row in rows]
+    # communication matters more at scale: the full optimization's
+    # relative benefit grows (scaled time shrinks) with the machine
+    assert scaled[-1] <= scaled[0] + 1e-9
+    # and absolute times shrink with more processors
+    times = [row[1] for row in rows]
+    assert times == sorted(times, reverse=True)

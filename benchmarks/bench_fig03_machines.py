@@ -1,0 +1,30 @@
+"""Figure 3 — machine parameters and communication libraries.
+
+A descriptive table; the benchmark times machine construction (the
+binding/primitive validation path).
+"""
+
+from repro.analysis import format_table
+from repro.analysis.figures import figure3_machines
+from repro.machine import paragon, t3d
+
+
+def test_figure3(benchmark, record_table):
+    def build_machines():
+        return (
+            paragon(2, "nx"),
+            paragon(2, "nx_async"),
+            paragon(2, "nx_callback"),
+            t3d(64, "pvm"),
+            t3d(64, "shmem"),
+        )
+
+    machines = benchmark(build_machines)
+    headers, rows = figure3_machines()
+    text = format_table(
+        headers, rows, title="Figure 3 — machine parameters"
+    )
+    text += "\n\nsimulated instances:\n" + "\n".join(
+        f"  {m.describe()}" for m in machines
+    )
+    record_table("figure03_machines", text)

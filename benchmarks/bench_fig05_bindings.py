@@ -1,0 +1,22 @@
+"""Figure 5 — IRONMAN bindings on the Paragon and T3D."""
+
+from repro.analysis import format_table
+from repro.analysis.figures import figure5_bindings
+from repro.ironman import BINDINGS, CallKind
+
+
+def test_figure5(benchmark, record_table):
+    def resolve_all_bindings():
+        return [
+            binding.primitive(kind)
+            for binding in BINDINGS.values()
+            for kind in CallKind
+        ]
+
+    resolved = benchmark(resolve_all_bindings)
+    assert len(resolved) == 20
+    headers, rows = figure5_bindings()
+    record_table(
+        "figure05_bindings",
+        format_table(headers, rows, title="Figure 5 — IRONMAN bindings"),
+    )

@@ -1,0 +1,41 @@
+"""Figure 8 — reduction in communications from redundancy removal and
+combination, static and dynamic, scaled to baseline.
+
+The benchmark times one dynamic-count simulation (SWM under cc); the
+table spans all four benchmarks from the shared study.
+"""
+
+from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro.analysis import format_table
+from repro.analysis.figures import figure8_counts, paper_value
+from repro.programs import build_benchmark
+
+
+def test_figure8(benchmark, suite, record_table):
+    program = build_benchmark("swm", opt=OptimizationConfig.rr_cc())
+    machine = t3d(64, "pvm")
+    benchmark.pedantic(
+        lambda: simulate(program, machine, ExecutionMode.TIMING),
+        rounds=3,
+        iterations=1,
+    )
+
+    headers, rows = figure8_counts(suite)
+    # paper columns alongside
+    headers = headers + ["paper rr dyn", "paper cc dyn"]
+    for row in rows:
+        bench = row[0]
+        base = paper_value(bench, "baseline")
+        row.append(paper_value(bench, "rr")[1] / base[1])
+        row.append(paper_value(bench, "cc")[1] / base[1])
+    text = format_table(
+        headers,
+        rows,
+        title="Figure 8 — communication count reduction (scaled to baseline)",
+    )
+    record_table("figure08_counts", text)
+
+    for row in rows:
+        rr_s, cc_s, rr_d, cc_d = row[1:5]
+        assert cc_s <= rr_s <= 1.0
+        assert cc_d <= rr_d <= 1.0

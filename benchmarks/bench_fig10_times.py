@@ -1,0 +1,60 @@
+"""Figure 10 — performance of the optimized benchmark programs:
+(a) each optimization under PVM, (b) full optimization under PVM vs
+SHMEM, scaled to baseline.
+
+The benchmark times the fully optimized TOMCATV simulation.
+"""
+
+from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro.analysis import format_table
+from repro.analysis.figures import figure10a_times, figure10b_times, paper_value
+from repro.programs import build_benchmark
+
+
+def test_figure10(benchmark, suite, record_table):
+    program = build_benchmark("tomcatv", opt=OptimizationConfig.full())
+    machine = t3d(64, "pvm")
+    benchmark.pedantic(
+        lambda: simulate(program, machine, ExecutionMode.TIMING),
+        rounds=3,
+        iterations=1,
+    )
+
+    headers_a, rows_a = figure10a_times(suite)
+    headers_a += ["paper rr", "paper cc", "paper pl"]
+    for row in rows_a:
+        base_t = paper_value(row[0], "baseline")[2]
+        row.extend(
+            paper_value(row[0], key)[2] / base_t for key in ("rr", "cc", "pl")
+        )
+    text_a = format_table(
+        headers_a,
+        rows_a,
+        title="Figure 10(a) — scaled execution times, PVM",
+    )
+    record_table("figure10a_times_pvm", text_a)
+
+    headers_b, rows_b = figure10b_times(suite)
+    headers_b += ["paper pl", "paper pl+shmem"]
+    for row in rows_b:
+        base_t = paper_value(row[0], "baseline")[2]
+        row.append(paper_value(row[0], "pl")[2] / base_t)
+        row.append(paper_value(row[0], "pl_shmem")[2] / base_t)
+    text_b = format_table(
+        headers_b,
+        rows_b,
+        title="Figure 10(b) — pl vs pl with shmem",
+    )
+    record_table("figure10b_times_shmem", text_b)
+
+    # the paper's headline orderings
+    a = {row[0]: row for row in rows_a}
+    for bench in a:
+        base, rr, cc, pl = a[bench][1:5]
+        assert base >= rr >= cc >= pl
+
+    b = {row[0]: row for row in rows_b}
+    for bench in ("swm", "simple"):
+        assert b[bench][2] < b[bench][1], "shmem improves SWM/SIMPLE"
+    for bench in ("tomcatv", "sp"):
+        assert b[bench][2] > b[bench][1], "shmem degrades TOMCATV/SP"

@@ -1,0 +1,37 @@
+"""Figure 11 — communication counts under the two combining heuristics.
+
+The benchmark times the max-latency compilation of SIMPLE (the heaviest
+optimizer workload: large block count, mixed merge admissibility).
+"""
+
+from repro import OptimizationConfig
+from repro.analysis import format_table
+from repro.analysis.figures import figure11_heuristic_counts, paper_value
+from repro.programs import build_benchmark
+
+
+def test_figure11(benchmark, suite, record_table):
+    benchmark(
+        lambda: build_benchmark(
+            "simple", opt=OptimizationConfig.full_max_latency()
+        )
+    )
+
+    headers, rows = figure11_heuristic_counts(suite)
+    headers += ["paper max-comb dyn", "paper max-lat dyn"]
+    for row in rows:
+        base = paper_value(row[0], "baseline")[1]
+        row.append(paper_value(row[0], "pl")[1] / base)
+        row.append(paper_value(row[0], "pl_maxlat")[1] / base)
+    text = format_table(
+        headers,
+        rows,
+        title="Figure 11 — combining heuristics, counts scaled to baseline",
+    )
+    record_table("figure11_heuristic_counts", text)
+
+    by = {row[0]: row for row in rows}
+    # the paper's structural findings
+    assert by["tomcatv"][4] > by["tomcatv"][3], "TOMCATV: max-latency combines nothing"
+    assert by["swm"][4] == by["swm"][3], "SWM: max-latency keeps every combination"
+    assert by["simple"][3] < by["simple"][4] < 1.0, "SIMPLE: in between"

@@ -1,0 +1,40 @@
+"""Table 1 — TOMCATV: full counts and times for every experiment key.
+
+The benchmark times the baseline TOMCATV simulation (the most
+communication-heavy configuration).
+"""
+
+from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro.analysis import format_table
+from repro.analysis.figures import table_full
+from repro.programs import build_benchmark
+
+
+def test_table1(benchmark, suite, record_table):
+    program = build_benchmark("tomcatv", opt=OptimizationConfig.baseline())
+    machine = t3d(64, "pvm")
+    benchmark.pedantic(
+        lambda: simulate(program, machine, ExecutionMode.TIMING),
+        rounds=3,
+        iterations=1,
+    )
+
+    headers, rows = table_full("tomcatv", suite)
+    record_table(
+        "table1_tomcatv",
+        format_table(
+            headers, rows, title="Table 1 — tomcatv on 64 processors"
+        ),
+    )
+
+    by = {row[0]: row for row in rows}
+    # Table 1's qualitative content: rr barely moves the dynamic count,
+    # cc cuts it to about a third, max-latency equals rr exactly
+    assert 0.95 < by["rr"][2] / by["baseline"][2] < 1.0
+    assert by["cc"][2] / by["baseline"][2] < 0.4
+    assert by["pl_maxlat"][1] == by["rr"][1]
+    assert by["pl_maxlat"][2] == by["rr"][2]
+    # time ordering of Table 1
+    scaled = {k: by[k][4] for k in by}
+    assert scaled["pl"] < scaled["cc"] < scaled["rr"] < scaled["baseline"]
+    assert scaled["pl"] < scaled["pl_shmem"] < scaled["pl_maxlat"] < 1.0

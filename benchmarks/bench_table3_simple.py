@@ -1,0 +1,41 @@
+"""Table 3 — SIMPLE: full counts and times for every experiment key.
+
+The benchmark times the fully optimized SIMPLE simulation under SHMEM —
+the paper's largest one-way-communication win (running time down to
+half the baseline).
+"""
+
+from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro.analysis import format_table
+from repro.analysis.figures import table_full
+from repro.programs import build_benchmark
+
+
+def test_table3(benchmark, suite, record_table):
+    program = build_benchmark("simple", opt=OptimizationConfig.full())
+    machine = t3d(64, "shmem")
+    benchmark.pedantic(
+        lambda: simulate(program, machine, ExecutionMode.TIMING),
+        rounds=3,
+        iterations=1,
+    )
+
+    headers, rows = table_full("simple", suite)
+    record_table(
+        "table3_simple",
+        format_table(
+            headers, rows, title="Table 3 — simple on 64 processors"
+        ),
+    )
+
+    by = {row[0]: row for row in rows}
+    # Table 3's qualitative content: huge rr gains, max-latency strictly
+    # between rr and cc in both counts, every optimization pays, and
+    # SHMEM is the best configuration of all
+    assert by["rr"][1] < 0.6 * by["baseline"][1]
+    assert by["cc"][1] < by["pl_maxlat"][1] < by["rr"][1]
+    assert by["cc"][2] < by["pl_maxlat"][2] < by["rr"][2]
+    scaled = {k: by[k][4] for k in by}
+    assert scaled["pl"] < scaled["cc"] < scaled["rr"] < 1.0
+    assert scaled["pl_shmem"] == min(scaled.values())
+    assert scaled["pl_shmem"] < scaled["pl_maxlat"] < scaled["pl"]

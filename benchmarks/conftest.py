@@ -1,0 +1,44 @@
+"""Shared machinery for the benchmark harness.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's evaluation.  The expensive part — the
+whole-program study (4 benchmarks x 6 experiment keys at paper scale,
+64 simulated processors) — runs once per session in the ``suite``
+fixture; the per-figure benchmark targets time one representative
+simulation each and render their tables from the shared results.
+
+Each regenerated table is printed and also written to
+``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import run_benchmark_suite
+from repro.programs import BENCHMARKS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The paper-scale whole-program study feeding Figures 8/10/11/12 and
+    Tables 1-4."""
+    return run_benchmark_suite(BENCHMARKS, nprocs=64)
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Print a regenerated table and persist it under
+    benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

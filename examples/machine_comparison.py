@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Run one workload across every simulated machine/library combination.
+
+The workload is a red-black-style relaxation with combinable transfers —
+enough communication that the library differences the paper measures
+(Figure 6) surface as whole-program effects: the Paragon's callback
+primitives are ruinous, its asynchronous ones no better than
+csend/crecv, and the T3D's one-way SHMEM edges out PVM on this
+load-balanced kernel.
+
+Run:  python examples/machine_comparison.py
+"""
+
+from repro import ExecutionMode, OptimizationConfig, compile_program, simulate
+from repro.analysis import format_table
+from repro.machine import paragon, t3d
+
+SOURCE = """
+program relax;
+
+config n     : integer = 64;
+config steps : integer = 30;
+
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+
+direction east  = [ 0,  1];
+direction west  = [ 0, -1];
+direction north = [-1,  0];
+direction south = [ 1,  0];
+
+var U, V, F : [R] double;
+
+procedure main();
+begin
+  [R] U := 0.0;
+  [R] V := 0.0;
+  [R] F := sin(index1 * 0.2) * cos(index2 * 0.2);
+  for s := 1 to steps do
+    [In] U := 0.25 * (V@east + V@west + V@north + V@south) - 0.25 * F;
+    [In] V := 0.25 * (U@east + U@west + U@north + U@south) - 0.25 * F;
+  end;
+end;
+"""
+
+MACHINES = [
+    ("Paragon csend/crecv", lambda: paragon(16, "nx")),
+    ("Paragon isend/irecv", lambda: paragon(16, "nx_async")),
+    ("Paragon hsend/hrecv", lambda: paragon(16, "nx_callback")),
+    ("T3D PVM", lambda: t3d(16, "pvm")),
+    ("T3D SHMEM", lambda: t3d(16, "shmem")),
+]
+
+
+def main() -> None:
+    program = compile_program(SOURCE, "relax.zl", opt=OptimizationConfig.full())
+    rows = []
+    for name, factory in MACHINES:
+        machine = factory()
+        result = simulate(program, machine, ExecutionMode.TIMING)
+        rows.append(
+            [
+                name,
+                result.time * 1e3,
+                result.dynamic_comm_count,
+                result.instrument.total_messages,
+            ]
+        )
+    print(
+        format_table(
+            ["machine / library", "time (model ms)", "dyn comms", "messages"],
+            rows,
+            float_fmt=".3f",
+            title="One workload, five communication mechanisms (16 nodes)",
+        )
+    )
+    print()
+    print("the T3D rows run the same compiled program as the Paragon rows —")
+    print("IRONMAN rebinds DR/SR/DN/SV per library at machine-construction")
+    print("time, exactly as the paper's single-source compilation does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""A tour of the three communication optimizations on the paper's own
+Figure 1 example.
+
+The program below is the paper's running example: ``B`` is produced,
+read twice shifted east, and an unrelated array ``E`` is also read
+shifted east.  Watch the transfer list change as each optimization is
+switched on.
+
+Run:  python examples/optimizer_tour.py
+"""
+
+from repro import ExecutionMode, OptimizationConfig, compile_program, simulate, t3d
+from repro.ir.nodes import CommCall
+
+SOURCE = """
+program figure1;
+
+config n : integer = 16;
+
+region R  = [1..n, 1..n];
+region In = [1..n, 1..n-1];
+
+direction east = [0, 1];
+
+var A, B, C, D, E : [R] double;
+
+procedure main();
+begin
+  [R]  B := index1 * 0.1 + index2;
+  [R]  E := index2 * 0.2;
+  [In] A := B@east;
+  [In] C := B@east;
+  [In] D := E@east;
+end;
+"""
+
+STAGES = [
+    ("(a) naive generation (message vectorization)", OptimizationConfig.baseline()),
+    ("(b) + redundant communication removal", OptimizationConfig.rr_only()),
+    ("(c) + communication combination", OptimizationConfig.rr_cc()),
+    ("(d) + communication pipelining", OptimizationConfig.full()),
+]
+
+
+def show(title: str, config: OptimizationConfig) -> None:
+    program = compile_program(SOURCE, "figure1.zl", opt=config)
+    print(f"{title}")
+    block = list(program.walk_blocks())[0]
+    for stmt in block.stmts:
+        if isinstance(stmt, CommCall):
+            print(f"    {stmt.describe()}")
+        else:
+            target = getattr(stmt, "target", "?")
+            print(f"  {target} := ...")
+    result = simulate(program, t3d(16), ExecutionMode.NUMERIC)
+    print(
+        f"  -> {result.static_comm_count} transfers in the text, "
+        f"{result.dynamic_comm_count} executed per processor, "
+        f"{result.time * 1e6:.1f} model microseconds\n"
+    )
+
+
+def main() -> None:
+    print(__doc__)
+    for title, config in STAGES:
+        show(title, config)
+    print("exactly the paper's Figure 1: removal deletes the second B")
+    print("transfer, combination merges B and E into one message, and")
+    print("pipelining hoists the send to just after the data is ready.")
+
+
+if __name__ == "__main__":
+    main()

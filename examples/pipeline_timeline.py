@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""See pipelining happen: one processor's event timeline, before and
+after.
+
+A block produces data early and uses the transferred strips late.
+Without pipelining, each DR/SR/DN/SV set huddles at the point of use, so
+the wire time turns into waiting (`.`).  With pipelining, the sends fire
+right after the data is ready, the intervening computation (`#`) covers
+the transfer, and the waits disappear.
+
+Run:  python examples/pipeline_timeline.py
+"""
+
+from repro import ExecutionMode, OptimizationConfig, compile_program, simulate, t3d
+from repro.analysis.timeline import render_timeline, summarize
+
+SOURCE = """
+program pipe;
+
+config n : integer = 48;
+
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+
+direction east  = [0, 1];
+direction south = [1, 0];
+
+var A, B, W1, W2, OUT : [R] double;
+
+procedure main();
+begin
+  [R] A := index1 * 0.5 + index2;
+  [R] B := index2 * 0.25 - index1;
+  for t := 1 to 2 do
+    -- the strips of A and B become ready here ...
+    [In] A := A * 0.999 + 0.001;
+    [In] B := B * 0.999 - 0.001;
+    -- ... this computation could hide their transfer ...
+    [In] W1 := A * A * 0.1 + B * 0.2 + A * B * 0.01;
+    [In] W2 := W1 * W1 * 0.5 - A * 0.125 + B * 0.25;
+    [In] W1 := W1 * 0.9 + W2 * 0.1 + W1 * W2 * 0.001;
+    -- ... and only here are the transferred strips used
+    [In] OUT := A@east + B@south + W1;
+  end;
+end;
+"""
+
+
+def show(title: str, opt: OptimizationConfig) -> float:
+    program = compile_program(SOURCE, "pipe.zl", opt=opt)
+    result = simulate(
+        program, t3d(16, "pvm"), ExecutionMode.TIMING, trace_rank=5
+    )
+    print(f"--- {title} ---  (processor 5, total "
+          f"{result.clocks[5] * 1e6:.1f} us)")
+    print(render_timeline(result.trace, width=96))
+    waits = [row for row in summarize(result.trace) if row[0] == "wait"]
+    wait_us = waits[0][1] * 1e6 if waits else 0.0
+    print(f"time spent waiting: {wait_us:.1f} us\n")
+    return wait_us
+
+
+def main() -> None:
+    unpiped = show(
+        "without pipelining (rr + cc)", OptimizationConfig.rr_cc()
+    )
+    piped = show(
+        "with pipelining (rr + cc + pl)", OptimizationConfig.full()
+    )
+    print(f"pipelining removed {unpiped - piped:.1f} us of waiting per run —")
+    print("the sends moved up to the data's ready point and the stencil")
+    print("computation hid the wire time.")
+
+
+if __name__ == "__main__":
+    main()

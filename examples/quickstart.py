@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: compile a ZL program, optimize its communication, and run
+it on a simulated Cray T3D.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExecutionMode,
+    OptimizationConfig,
+    compile_program,
+    emit_c,
+    reference_run,
+    simulate,
+    t3d,
+)
+
+SOURCE = """
+program quickstart;
+
+config n : integer = 32;
+
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+
+direction east  = [ 0,  1];
+direction west  = [ 0, -1];
+direction north = [-1,  0];
+direction south = [ 1,  0];
+
+var T, Tnew : [R] double;
+var residual : double;
+
+procedure main();
+begin
+  -- a hot plate: fixed hot west edge, cold interior
+  [R] T := 100.0 - 95.0 * min(index2, 8.0) / 8.0;
+  for step := 1 to 50 do
+    [In] Tnew := 0.25 * (T@east + T@west + T@north + T@south);
+    [In] T := Tnew;
+  end;
+  [In] residual := max<< abs(T - Tnew);
+end;
+"""
+
+
+def main() -> None:
+    # 1. compile with full communication optimization (the paper's "pl")
+    program = compile_program(SOURCE, "quickstart.zl", opt=OptimizationConfig.full())
+
+    # 2. peek at the generated SPMD pseudo-C: the IRONMAN calls are the
+    #    communication the optimizer produced
+    emitted = emit_c(program)
+    comm_lines = [l.strip() for l in emitted.text.splitlines() if "/* comm" in l]
+    print("IRONMAN calls in the steady-state loop:")
+    for line in comm_lines[:6]:
+        print(f"  {line}")
+    print(f"  ... ({emitted.comm_lines} communication lines total)\n")
+
+    # 3. simulate on a 16-node T3D partition, computing real data
+    machine = t3d(16, "pvm")
+    result = simulate(program, machine, ExecutionMode.NUMERIC)
+    print(f"machine:        {machine.describe()}")
+    print(f"simulated time: {result.time * 1e3:.3f} model milliseconds")
+    print(f"transfers:      {result.static_comm_count} static, "
+          f"{result.dynamic_comm_count} executed per processor")
+    print(f"messages:       {result.instrument.total_messages} "
+          f"({result.instrument.total_bytes} bytes)")
+    print(f"residual:       {result.scalars['residual']:.6f}")
+
+    # 4. the distributed run computes exactly what a sequential run does
+    reference = reference_run(compile_program(SOURCE, "quickstart.zl"))
+    import numpy as np
+
+    assert np.allclose(result.array("T"), reference.array("T"))
+    print("\ndistributed result matches the sequential reference — the")
+    print("optimizer moved every byte the stencil needed, and no more.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Writing your own ZL program: advection around a 1-D periodic ring.
+
+Demonstrates the parts of ZL the other examples don't: rank-1 regions,
+periodic wrap shifts (``@@`` — no boundary special-casing needed),
+``repeat``/``until`` convergence loops, reductions driving control flow,
+and NUMERIC-mode simulation (required when control flow depends on
+reduced values).
+
+Run:  python examples/writing_programs.py
+"""
+
+import numpy as np
+
+from repro import (
+    ExecutionMode,
+    OptimizationConfig,
+    compile_program,
+    reference_run,
+    simulate,
+    t3d,
+)
+
+SOURCE = """
+program advect;
+
+config n : integer = 96;
+
+region Line = [1..n];
+
+direction upwind = [-1];
+
+var Q, Qold : [Line] double;
+var change : double;
+
+procedure main();
+begin
+  -- an initial pulse of density on a periodic ring
+  [Line] Q := exp(0.0 - (index1 - 20.0) * (index1 - 20.0) * 0.02);
+  repeat
+    [Line] Qold := Q;
+    -- first-order upwind advection: material circulates rightward;
+    -- the wrap shift (@@) makes the ring periodic with no boundary code
+    [Line] Q := Q - 0.4 * (Q - Q@@upwind);
+    [Line] change := max<< abs(Q - Qold);
+  until change < 0.03;
+end;
+"""
+
+
+def main() -> None:
+    program = compile_program(SOURCE, "advect.zl", opt=OptimizationConfig.full())
+
+    # rank-1 arrays live on one mesh column; a (4,1) machine keeps all
+    # four processors busy
+    machine = t3d(4, "pvm")
+    # control flow depends on the reduction, so run NUMERIC
+    result = simulate(program, machine, ExecutionMode.NUMERIC)
+
+    reference = reference_run(compile_program(SOURCE, "advect.zl"))
+    assert np.allclose(result.array("Q"), reference.array("Q"))
+
+    q = result.array("Q")
+    print(f"converged with change = {result.scalars['change']:.6f}")
+    print(f"pulse peak now at cell {int(np.argmax(q)) + 1} "
+          f"(started at cell 20; the ring is periodic, so it circulates)")
+    print(f"mass conserved: {q.sum():.4f} (periodic upwind conserves mass)")
+    print(f"transfers per processor: {result.dynamic_comm_count}")
+    print(f"simulated time: {result.time * 1e3:.3f} model ms")
+    print("\ndensity profile:")
+    for i in range(0, 96, 8):
+        bar = "#" * int(q[i] * 40)
+        print(f"  cell {i + 1:3d} | {bar}")
+
+
+if __name__ == "__main__":
+    main()

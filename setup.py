@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package and no network access, so
+PEP 660 editable installs (which build a wheel) fail.  This shim enables the
+legacy editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

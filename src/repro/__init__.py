@@ -1,0 +1,97 @@
+"""repro — reproduction of Choi & Snyder, "Quantifying the Effects of
+Communication Optimizations" (ICPP 1997).
+
+A from-scratch implementation of the paper's entire system:
+
+* **ZL**, a ZPL-like data-parallel array sublanguage (regions,
+  directions, the ``@`` shift operator, reductions) with a full front
+  end — :mod:`repro.frontend`;
+* an SPMD intermediate representation with source-level basic blocks —
+  :mod:`repro.ir`;
+* the paper's machine-independent **communication optimizer**: redundant
+  communication removal, communication combination (two heuristics), and
+  communication pipelining, each individually switchable —
+  :mod:`repro.comm`;
+* the **IRONMAN** four-call communication interface and its per-library
+  bindings — :mod:`repro.ironman`;
+* cost-model simulations of the **Intel Paragon** (NX) and **Cray T3D**
+  (PVM + SHMEM) — :mod:`repro.machine`;
+* a discrete-event **SPMD runtime** with distributed arrays, fluff
+  regions, real data movement and per-processor clocks —
+  :mod:`repro.runtime`;
+* the paper's four **benchmark programs** (TOMCATV, SWM, SIMPLE, SP) and
+  its synthetic overhead benchmark — :mod:`repro.programs`;
+* the **experiment harness** regenerating every figure and table —
+  :mod:`repro.analysis`.
+
+Quickstart
+----------
+
+>>> from repro import compile_program, OptimizationConfig, t3d, simulate
+>>> source = '''
+... program demo;
+... config n : integer = 16;
+... region R  = [1..n, 1..n];
+... region In = [2..n-1, 2..n-1];
+... direction east = [0, 1];  direction west = [0, -1];
+... var A, B : [R] double;
+... procedure main();
+... begin
+...   [R] A := index1 + index2;
+...   [In] B := 0.5 * (A@east + A@west);
+... end;
+... '''
+>>> program = compile_program(source, opt=OptimizationConfig.full())
+>>> result = simulate(program, t3d(16))
+>>> result.dynamic_comm_count
+2
+"""
+
+from repro.comm import OptimizationConfig, optimize, static_comm_count
+from repro.errors import (
+    LexError,
+    MachineError,
+    OptimizationError,
+    ParseError,
+    ReproError,
+    RuntimeFault,
+    SemanticError,
+)
+from repro.frontend import analyze, parse
+from repro.ir import emit_c, lower
+from repro.machine import Machine, machine_by_name, paragon, t3d
+from repro.programs.common import compile_source as compile_program
+from repro.runtime import ExecutionMode, RunResult, reference_run, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # compilation
+    "parse",
+    "analyze",
+    "lower",
+    "optimize",
+    "compile_program",
+    "emit_c",
+    "OptimizationConfig",
+    "static_comm_count",
+    # machines
+    "Machine",
+    "paragon",
+    "t3d",
+    "machine_by_name",
+    # execution
+    "simulate",
+    "reference_run",
+    "ExecutionMode",
+    "RunResult",
+    # errors
+    "ReproError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "OptimizationError",
+    "MachineError",
+    "RuntimeFault",
+    "__version__",
+]

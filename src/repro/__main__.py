@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile FILE``
+    Compile a ZL source file and print the generated pseudo-C
+    (``--opt`` selects the experiment key; ``--config name=value`` sets
+    config constants).
+
+``run FILE``
+    Compile and simulate a ZL program, printing time and counts
+    (``--machine t3d|paragon``, ``--procs N``, ``--numeric``).
+
+``experiments``
+    Run the whole-program study (Figures 8/10/11/12 and Tables 1-4)
+    and print every regenerated table (``--bench`` to restrict).
+
+``figure6``
+    Run the synthetic overhead benchmark and print the Figure 6 curves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import (
+    ExecutionMode,
+    OptimizationConfig,
+    compile_program,
+    emit_c,
+    machine_by_name,
+    simulate,
+)
+from repro.analysis import (
+    EXPERIMENT_KEYS,
+    experiment_spec,
+    format_table,
+    run_benchmark_suite,
+)
+from repro.analysis import figures as fig
+from repro.programs import BENCHMARKS
+
+
+def _parse_config(pairs):
+    out = {}
+    for pair in pairs or ():
+        name, _, value = pair.partition("=")
+        if not _:
+            raise SystemExit(f"bad --config {pair!r}; use name=value")
+        out[name] = float(value) if "." in value else int(value)
+    return out
+
+
+def _opt_for(key: str) -> OptimizationConfig:
+    opt, _, _ = experiment_spec(key)
+    return opt
+
+
+def cmd_compile(args) -> int:
+    source = Path(args.file).read_text()
+    program = compile_program(
+        source, args.file, config=_parse_config(args.config), opt=_opt_for(args.opt)
+    )
+    emitted = emit_c(program)
+    print(emitted.text)
+    print(
+        f"/* {emitted.total_lines} lines, {emitted.comm_lines} communication "
+        f"lines, {emitted.lines_excluding_comm} excluding communication */"
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    source = Path(args.file).read_text()
+    program = compile_program(
+        source, args.file, config=_parse_config(args.config), opt=_opt_for(args.opt)
+    )
+    machine = machine_by_name(args.machine, args.procs, args.library)
+    mode = ExecutionMode.NUMERIC if args.numeric else ExecutionMode.TIMING
+    result = simulate(program, machine, mode)
+    print(f"machine:            {machine.describe()}")
+    print(f"experiment:         {args.opt}")
+    print(f"execution time:     {result.time:.6f} model seconds")
+    print(f"static comms:       {result.static_comm_count}")
+    print(f"dynamic comms:      {result.dynamic_comm_count} (per processor)")
+    print(f"messages:           {result.instrument.total_messages}")
+    print(f"bytes moved:        {result.instrument.total_bytes}")
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    benches = args.bench or list(BENCHMARKS)
+    results = run_benchmark_suite(benches, nprocs=args.procs)
+    print(format_table(*fig.figure8_counts(results), title="Figure 8 — comm count reduction (scaled to baseline)"))
+    print()
+    print(format_table(*fig.figure10a_times(results), title="Figure 10(a) — scaled times, PVM"))
+    print()
+    print(format_table(*fig.figure10b_times(results), title="Figure 10(b) — pl vs pl with shmem"))
+    print()
+    print(format_table(*fig.figure11_heuristic_counts(results), title="Figure 11 — combining heuristics, counts"))
+    print()
+    print(format_table(*fig.figure12_heuristic_times(results), title="Figure 12 — combining heuristics, times"))
+    for i, bench in enumerate(benches, start=1):
+        print()
+        print(
+            format_table(
+                *fig.table_full(bench, results),
+                title=f"Table {i} — {bench} ({args.procs} processors)",
+            )
+        )
+    return 0
+
+
+def cmd_figure6(args) -> int:
+    headers, rows = fig.figure6_overhead(reps=args.reps)
+    print(format_table(headers, rows, float_fmt=".1f", title="Figure 6 — exposed communication cost (us)"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantifying the Effects of Communication Optimizations "
+        "(ICPP 1997) — reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile ZL to pseudo-C")
+    p.add_argument("file")
+    p.add_argument("--opt", default="pl", choices=EXPERIMENT_KEYS)
+    p.add_argument("--config", action="append", metavar="NAME=VALUE")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and simulate a ZL program")
+    p.add_argument("file")
+    p.add_argument("--opt", default="pl", choices=EXPERIMENT_KEYS)
+    p.add_argument("--config", action="append", metavar="NAME=VALUE")
+    p.add_argument("--machine", default="t3d")
+    p.add_argument("--library", default=None)
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--numeric", action="store_true")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("experiments", help="run the whole-program study")
+    p.add_argument("--bench", action="append", choices=BENCHMARKS)
+    p.add_argument("--procs", type=int, default=64)
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")
+    p.add_argument("--reps", type=int, default=1000)
+    p.set_defaults(func=cmd_figure6)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

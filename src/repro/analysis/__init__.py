@@ -1,0 +1,25 @@
+"""The experiment harness: the paper's evaluation section as code.
+
+:mod:`repro.analysis.experiments` defines the experiment keys of the
+paper's Figure 9 and runs benchmark x experiment grids;
+:mod:`repro.analysis.figures` regenerates each figure/table's rows;
+:mod:`repro.analysis.report` renders them as aligned text tables.
+"""
+
+from repro.analysis.experiments import (
+    EXPERIMENT_KEYS,
+    ExperimentResult,
+    experiment_spec,
+    run_experiment,
+    run_benchmark_suite,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "EXPERIMENT_KEYS",
+    "ExperimentResult",
+    "experiment_spec",
+    "run_experiment",
+    "run_benchmark_suite",
+    "format_table",
+]

@@ -1,0 +1,144 @@
+"""Experiment keys and drivers (the paper's Figure 9).
+
+==================  =============================================  ========
+key                 description                                    library
+==================  =============================================  ========
+baseline            message vectorization                          pvm
+rr                  baseline + redundant communication removal     pvm
+cc                  rr + communication combination                 pvm
+pl                  cc + communication pipelining                  pvm
+pl_shmem            pl using shmem_put                             shmem
+pl_maxlat           pl with shmem, combining for max latency       shmem
+==================  =============================================  ========
+
+The paper's experiments are *cumulative* — each key adds one
+optimization — and the library is an orthogonal axis that the last two
+keys flip to SHMEM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.comm import OptimizationConfig
+from repro.errors import ExperimentError
+from repro.machine import t3d
+from repro.machine.params import Machine
+from repro.programs import build_benchmark
+from repro.runtime import ExecutionMode, simulate
+
+#: Experiment keys in the paper's presentation order.
+EXPERIMENT_KEYS: Tuple[str, ...] = (
+    "baseline",
+    "rr",
+    "cc",
+    "pl",
+    "pl_shmem",
+    "pl_maxlat",
+)
+
+_SPECS: Dict[str, Tuple[OptimizationConfig, str, str]] = {
+    "baseline": (
+        OptimizationConfig.baseline(),
+        "pvm",
+        "message vectorization",
+    ),
+    "rr": (
+        OptimizationConfig.rr_only(),
+        "pvm",
+        "baseline with removing redundant communication",
+    ),
+    "cc": (
+        OptimizationConfig.rr_cc(),
+        "pvm",
+        "rr with combining communication",
+    ),
+    "pl": (OptimizationConfig.full(), "pvm", "cc with pipelining"),
+    "pl_shmem": (
+        OptimizationConfig.full(),
+        "shmem",
+        "pl using shmem_put",
+    ),
+    "pl_maxlat": (
+        OptimizationConfig.full_max_latency(),
+        "shmem",
+        "pl with shmem, combining for maximum latency hiding",
+    ),
+}
+
+
+def experiment_spec(key: str) -> Tuple[OptimizationConfig, str, str]:
+    """(optimization config, library, description) for an experiment key."""
+    try:
+        return _SPECS[key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {key!r} (valid: {', '.join(EXPERIMENT_KEYS)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One cell of a Table 1-4 style table."""
+
+    benchmark: str
+    experiment: str
+    library: str
+    static_count: int
+    dynamic_count: int
+    execution_time: float
+
+    def scaled_to(self, baseline: "ExperimentResult") -> float:
+        """Execution time relative to a baseline run (the paper's plots)."""
+        return self.execution_time / baseline.execution_time
+
+
+def run_experiment(
+    benchmark: str,
+    key: str,
+    nprocs: int = 64,
+    config: Optional[Dict[str, float]] = None,
+    mode: ExecutionMode = ExecutionMode.TIMING,
+    machine: Optional[Machine] = None,
+) -> ExperimentResult:
+    """Compile and run one benchmark under one experiment key.
+
+    ``machine`` overrides the default T3D (the paper's whole-program
+    platform); when given, its library takes precedence over the key's.
+    """
+    opt, library, _ = experiment_spec(key)
+    if machine is None:
+        machine = t3d(nprocs, library)
+    program = build_benchmark(benchmark, config=config, opt=opt)
+    result = simulate(program, machine, mode)
+    return ExperimentResult(
+        benchmark=benchmark,
+        experiment=key,
+        library=machine.library,
+        static_count=result.static_comm_count,
+        dynamic_count=result.dynamic_comm_count,
+        execution_time=result.time,
+    )
+
+
+def run_benchmark_suite(
+    benchmarks: Iterable[str],
+    keys: Iterable[str] = EXPERIMENT_KEYS,
+    nprocs: int = 64,
+    config_overrides: Optional[Dict[str, Dict[str, float]]] = None,
+    mode: ExecutionMode = ExecutionMode.TIMING,
+) -> Dict[str, List[ExperimentResult]]:
+    """Run a grid of benchmarks x experiments (the whole-program study).
+
+    Returns benchmark name -> results in key order.  ``config_overrides``
+    maps benchmark name -> config dict (tests use the small configs).
+    """
+    out: Dict[str, List[ExperimentResult]] = {}
+    for bench in benchmarks:
+        config = (config_overrides or {}).get(bench)
+        out[bench] = [
+            run_experiment(bench, key, nprocs=nprocs, config=config, mode=mode)
+            for key in keys
+        ]
+    return out

@@ -1,0 +1,96 @@
+"""ASCII timeline rendering for traced simulations.
+
+``simulate(..., trace_rank=r)`` records processor ``r``'s full event
+timeline; this module renders it as a Gantt strip — the picture behind
+the paper's pipelining argument: with ``pl`` off, sends sit right next
+to the waits they cause; with ``pl`` on, computation fills the gap and
+the waits shrink.
+
+Example::
+
+    result = simulate(program, t3d(16), ExecutionMode.TIMING, trace_rank=5)
+    print(render_timeline(result.trace, width=100))
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.runtime.timing import TraceEvent
+
+#: Gantt glyph per event kind.
+GLYPHS: Dict[str, str] = {
+    "compute": "#",
+    "send": "s",
+    "recv": "r",
+    "wait": ".",
+    "synch": "y",
+    "reduce": "R",
+}
+
+
+def render_timeline(
+    trace: Iterable[TraceEvent],
+    width: int = 80,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> str:
+    """Render a trace as one Gantt strip plus a legend.
+
+    Each of the ``width`` character cells covers an equal slice of
+    ``[start, end]``; the glyph shown is the kind occupying most of the
+    cell.  Empty cells (clock gaps from unrecorded scalar statements)
+    render as spaces.
+    """
+    events = [e for e in trace]
+    if not events:
+        return "(empty trace)"
+    if end is None:
+        end = max(e.end for e in events)
+    span = end - start
+    if span <= 0:
+        return "(empty window)"
+    cell = span / width
+
+    occupancy: List[Dict[str, float]] = [defaultdict(float) for _ in range(width)]
+    for event in events:
+        lo = max(event.start, start)
+        hi = min(event.end, end)
+        if hi <= lo:
+            continue
+        first = int((lo - start) / cell)
+        last = min(int((hi - start) / cell), width - 1)
+        for i in range(first, last + 1):
+            cell_lo = start + i * cell
+            cell_hi = cell_lo + cell
+            overlap = min(hi, cell_hi) - max(lo, cell_lo)
+            if overlap > 0:
+                occupancy[i][event.kind] += overlap
+
+    strip = []
+    for cells in occupancy:
+        if not cells:
+            strip.append(" ")
+        else:
+            kind = max(cells, key=cells.get)
+            strip.append(GLYPHS.get(kind, "?"))
+    scale = f"{start * 1e6:.1f}us".ljust(width // 2) + f"{end * 1e6:.1f}us".rjust(
+        width - width // 2
+    )
+    legend = "  ".join(f"{g}={k}" for k, g in GLYPHS.items())
+    return "|" + "".join(strip) + "|\n " + scale + "\n " + legend
+
+
+def summarize(trace: Iterable[TraceEvent]) -> List[Tuple[str, float, int]]:
+    """Per-kind (total seconds, event count), sorted by time descending."""
+    totals: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for event in trace:
+        totals[event.kind] += event.duration
+        counts[event.kind] += 1
+    return sorted(
+        ((k, totals[k], counts[k]) for k in totals),
+        key=lambda row: row[1],
+        reverse=True,
+    )

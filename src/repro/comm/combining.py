@@ -1,0 +1,132 @@
+"""Communication combination.
+
+Messages with the same offset vector but different arrays travel between
+the same pair of processors and may be *combined* into one larger message.
+Combining reduces the number of messages; the data volume is unchanged.
+
+Legality.  A combined transfer is sent no earlier than every member's
+data is final (``max(ready_i)``) and must complete by the earliest member
+use (``min(use_i)``); it is legal iff ``max(ready_i) <= min(use_i)``.
+This is exactly the paper's condition that "neither array variable is
+modified after the communication is completed and before the data is
+used": if some member's array were written between the combined send and
+that member's use, that member's ``ready`` would lie *after* the write and
+hence after the combined completion point, violating the inequality.
+
+Heuristics.  Combining can shrink the send-to-receive *distance* — the
+latency-hiding potential pipelining exploits — so the paper compares two
+heuristics:
+
+``max_combining``
+    Merge whenever legal, without regard for distance (paper Figure 2(b)).
+
+``max_latency``
+    Merge only while "the distance between the combined send and receives
+    is no smaller than any of the distances of the uncombined
+    communication" (paper Section 2): a merge is admitted only if no
+    member's hiding distance shrinks.  Since the combined span
+    ``[max ready_i, min use_i]`` is contained in every member span, this
+    admits exactly the merges whose members already share one span —
+    different arrays made ready at the same point and first used by the
+    same statement.  This reading reproduces the paper's data: TOMCATV
+    (whose same-direction references sit in *different* statements) keeps
+    no combinations under max-latency, while SWM (whose same-direction
+    references sit in the *same* statement of each phase procedure) keeps
+    all of them.
+
+Both heuristics are greedy first-fit over communications in first-use
+order, within each offset-vector group — mirroring a single forward pass
+over the block, which is what a compiler limited to basic-block scope
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.comm.planning import BlockPlan, PlannedComm
+from repro.errors import OptimizationError
+
+#: Valid heuristic names.
+HEURISTICS = ("max_combining", "max_latency")
+
+
+def _merged_ready(a: PlannedComm, b: PlannedComm) -> int:
+    return max(a.ready, b.ready)
+
+
+def _merged_use(a: PlannedComm, b: PlannedComm) -> int:
+    return min(a.use, b.use)
+
+
+def _legal(a: PlannedComm, b: PlannedComm) -> bool:
+    """Combined transfer must still have send point <= completion point."""
+    return _merged_ready(a, b) <= _merged_use(a, b)
+
+
+def _preserves_latency(a: PlannedComm, b: PlannedComm) -> bool:
+    """max_latency admission: combining may not shrink *any* member's
+    hiding distance.  The combined span is contained in every member span,
+    so this holds exactly when the combined distance still equals each
+    member's own distance."""
+    combined = _merged_use(a, b) - _merged_ready(a, b)
+    return all(
+        combined >= m.use - m.ready for m in (*a.members, *b.members)
+    )
+
+
+def combine(plan: BlockPlan, heuristic: str = "max_combining") -> int:
+    """Apply communication combination to ``plan`` in place.
+
+    Parameters
+    ----------
+    plan:
+        The block plan (after redundancy removal, typically).
+    heuristic:
+        ``"max_combining"`` or ``"max_latency"``.
+
+    Returns
+    -------
+    int
+        Number of messages eliminated (members merged away).
+    """
+    if heuristic not in HEURISTICS:
+        raise OptimizationError(
+            f"unknown combining heuristic {heuristic!r} "
+            f"(valid: {', '.join(HEURISTICS)})"
+        )
+    groups: Dict[Tuple, List[PlannedComm]] = {}
+    order: List[PlannedComm] = []
+    merged_away = 0
+
+    for comm in plan.comms:
+        group = groups.setdefault((comm.direction.offsets, comm.wrap), [])
+        target = None
+        for cluster in group:
+            if any(
+                m.array in {cm.array for cm in cluster.members}
+                for m in comm.members
+            ):
+                # same array twice (a write intervened between the two
+                # transfers): the snapshots differ; never combinable.
+                continue
+            if not _legal(cluster, comm):
+                continue
+            if heuristic == "max_latency" and not _preserves_latency(
+                cluster, comm
+            ):
+                continue
+            target = cluster
+            break
+        if target is None:
+            group.append(comm)
+            order.append(comm)
+        else:
+            target.members.extend(comm.members)
+            merged_away += 1
+
+    plan.comms = [c for c in order]
+    # keep first-use order stable after merging (a cluster's use may have
+    # moved earlier as members joined)
+    plan.comms.sort(key=lambda c: (c.use, c.ready))
+    return merged_away

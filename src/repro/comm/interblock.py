@@ -1,0 +1,92 @@
+"""Inter-block redundancy removal — the paper's first future-work item.
+
+    "For example, we may want to employ a standard data flow analysis
+    algorithm to apply optimizations across basic block boundaries."
+    (paper, Section 4)
+
+This pass implements exactly that, for redundancy removal: a forward
+dataflow of *available transfers* threaded through straight-line
+sequences of basic blocks.  A transfer of ``(array, offsets, wrap)``
+performed in one block makes a later block's transfer of the same data
+redundant, provided
+
+* the available transfer's region covers the later use's region (the
+  fluff cells it needs were all delivered), and
+* the array has not been modified since the available transfer completed
+  — neither in the tail of the earlier block, nor in any block between,
+  nor before the use in the later block.
+
+Fluff buffers persist across blocks at run time, so dropping the later
+transfer is safe exactly under these conditions; the correctness tests
+(distributed vs. sequential reference) exercise this as they do every
+other pass.
+
+Control flow is handled conservatively, as a first dataflow client
+should be: loop and branch bodies start with an empty available set and
+contribute nothing to their successors (a fixed-point iteration over
+loop bodies is a natural extension).  Straight-line block sequences —
+notably the phase-procedure sequences inside a time-step loop body —
+are where the opportunity lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.comm.planning import BlockPlan
+from repro.lang.regions import Region
+
+#: (array, direction offsets, wrap) — the identity of a transfer's data.
+TransferKey = Tuple[str, Tuple[int, ...], bool]
+
+#: Available transfers at a program point: key -> region covered.
+AvailableSet = Dict[TransferKey, Region]
+
+
+def remove_entry_available(plan: BlockPlan, avail: AvailableSet) -> int:
+    """Drop planned transfers whose data is already available at block
+    entry.  Returns the number removed.
+
+    Must run after intra-block redundancy removal (single-member plans
+    whose first use defines their required data) and before combination.
+    """
+    kept = []
+    removed = 0
+    for comm in plan.comms:
+        assert len(comm.members) == 1, "interblock removal must precede cc"
+        member = comm.members[0]
+        key: TransferKey = comm.key
+        covering = avail.get(key)
+        if (
+            covering is not None
+            and covering.contains(member.use_region)
+            and plan.info.last_write_before(member.array, member.use) == -1
+        ):
+            removed += 1
+            continue
+        kept.append(comm)
+    plan.comms = kept
+    return removed
+
+
+def exit_available(plan: BlockPlan, entry: AvailableSet) -> AvailableSet:
+    """The available set after the block executes.
+
+    Entry availabilities survive if the block never writes their array;
+    the block's own transfers become available if their array is not
+    written at or after their first use.
+    """
+    info = plan.info
+    n = len(info.core)
+    out: AvailableSet = {}
+    for key, region in entry.items():
+        array = key[0]
+        if info.first_write_at_or_after(array, 0) == n:
+            out[key] = region
+    for comm in plan.comms:
+        for member in comm.members:
+            if info.first_write_at_or_after(member.array, member.use) == n:
+                key = (member.array, comm.direction.offsets, comm.wrap)
+                out[key] = member.use_region
+    return out

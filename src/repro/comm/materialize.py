@@ -1,0 +1,62 @@
+"""Materialization: turn call placements back into IR.
+
+Builds a new :class:`~repro.ir.nodes.Block` in which IRONMAN
+:class:`~repro.ir.nodes.CommCall` statements are interleaved with the
+original core statements at their computed positions.
+
+At a single position, calls are emitted grouped by kind in the order
+``DR, SR, DN, SV`` (each group ordered by transfer id).  Receives are
+posted and sends initiated before any completion waits at the same point,
+which maximizes overlap and matches how a compiler schedules calls that
+share an insertion point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.comm.pipelining import CommPlacement
+from repro.comm.planning import BlockPlan
+from repro.ir import nodes as ir
+from repro.ironman.calls import CallKind
+
+_KIND_ORDER = (CallKind.DR, CallKind.SR, CallKind.DN, CallKind.SV)
+
+
+def materialize(plan: BlockPlan, placements: List[CommPlacement]) -> ir.Block:
+    """Build the final block with communication calls interleaved."""
+    core = plan.info.core
+    n = len(core)
+
+    descriptors: Dict[int, ir.CommDescriptor] = {}
+    # position -> kind -> list of (comm order index, descriptor)
+    at: Dict[int, Dict[CallKind, List[ir.CommDescriptor]]] = {}
+
+    for order_index, placement in enumerate(placements):
+        desc = ir.CommDescriptor(
+            direction=placement.comm.direction,
+            wrap=placement.comm.wrap,
+            entries=[
+                ir.CommEntry(array=m.array, use_region=m.use_region)
+                for m in placement.comm.members
+            ],
+        )
+        descriptors[order_index] = desc
+        for kind, pos in (
+            (CallKind.DR, placement.dr),
+            (CallKind.SR, placement.sr),
+            (CallKind.DN, placement.dn),
+            (CallKind.SV, placement.sv),
+        ):
+            at.setdefault(pos, {}).setdefault(kind, []).append(desc)
+
+    stmts: List[ir.SimpleStmt] = []
+    for pos in range(n + 1):
+        here = at.get(pos)
+        if here:
+            for kind in _KIND_ORDER:
+                for desc in here.get(kind, ()):
+                    stmts.append(ir.CommCall(kind=kind, desc=desc))
+        if pos < n:
+            stmts.append(core[pos])
+    return ir.Block(stmts)

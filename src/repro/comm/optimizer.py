@@ -1,0 +1,210 @@
+"""The optimization driver: the paper's "instrumented compiler".
+
+:func:`optimize` rebuilds an IR program with communication generated and
+optimized per :class:`OptimizationConfig`.  Each optimization can be
+switched independently, which is how the paper's experiment keys are
+formed:
+
+=============  ====  ====  ====  ===============
+experiment     rr    cc    pl    heuristic
+=============  ====  ====  ====  ===============
+baseline       off   off   off   —
+rr             on    off   off   —
+cc             on    on    off   max_combining
+pl             on    on    on    max_combining
+pl_maxlat      on    on    on    max_latency
+=============  ====  ====  ====  ===============
+
+(The library — PVM vs SHMEM vs NX — is a *machine* property, not a
+compiler property; the same optimized program runs against any binding.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.comm.combining import HEURISTICS, combine
+from repro.comm.interblock import (
+    AvailableSet,
+    exit_available,
+    remove_entry_available,
+)
+from repro.comm.materialize import materialize
+from repro.comm.pipelining import place_calls
+from repro.comm.planning import plan_naive
+from repro.comm.redundancy import remove_redundant
+from repro.errors import OptimizationError
+from repro.ir import nodes as ir
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which communication optimizations to apply.
+
+    Attributes
+    ----------
+    rr:
+        Redundant communication removal.
+    cc:
+        Communication combination.  The paper always enables ``rr``
+        together with ``cc`` (its experiments are cumulative); this class
+        permits any combination.
+    pl:
+        Communication pipelining.
+    combine_heuristic:
+        ``"max_combining"`` (default, used unless otherwise noted in the
+        paper) or ``"max_latency"``.
+    """
+
+    rr: bool = False
+    cc: bool = False
+    pl: bool = False
+    combine_heuristic: str = "max_combining"
+    #: extension beyond the paper (its Section 4 future work): forward
+    #: dataflow of available transfers across basic-block boundaries,
+    #: removing redundancy the per-block pass cannot see.  Requires rr.
+    rr_interblock: bool = False
+
+    def __post_init__(self) -> None:
+        if self.combine_heuristic not in HEURISTICS:
+            raise OptimizationError(
+                f"unknown combining heuristic {self.combine_heuristic!r}"
+            )
+        if self.rr_interblock and not self.rr:
+            raise OptimizationError(
+                "rr_interblock extends redundancy removal; enable rr too"
+            )
+
+    # -- the paper's experiment keys ------------------------------------
+    @classmethod
+    def baseline(cls) -> "OptimizationConfig":
+        """Message vectorization only."""
+        return cls()
+
+    @classmethod
+    def rr_only(cls) -> "OptimizationConfig":
+        return cls(rr=True)
+
+    @classmethod
+    def rr_cc(cls) -> "OptimizationConfig":
+        return cls(rr=True, cc=True)
+
+    @classmethod
+    def full(cls) -> "OptimizationConfig":
+        return cls(rr=True, cc=True, pl=True)
+
+    @classmethod
+    def full_max_latency(cls) -> "OptimizationConfig":
+        return cls(rr=True, cc=True, pl=True, combine_heuristic="max_latency")
+
+    def describe(self) -> str:
+        parts = []
+        if self.rr:
+            parts.append("rr+ib" if self.rr_interblock else "rr")
+        if self.cc:
+            parts.append(
+                "cc" if self.combine_heuristic == "max_combining" else "cc(maxlat)"
+            )
+        if self.pl:
+            parts.append("pl")
+        return "+".join(parts) if parts else "baseline"
+
+
+def optimize_block(
+    block: ir.Block,
+    config: OptimizationConfig,
+    avail: Optional[AvailableSet] = None,
+) -> ir.Block:
+    """Generate and optimize communication for one basic block.
+
+    ``avail`` is the inter-block available-transfer set (mutated to the
+    block's exit state when rr_interblock is on; pass None otherwise).
+    """
+    plan = plan_naive(block)
+    if config.rr:
+        remove_redundant(plan)
+    if config.rr_interblock and avail is not None:
+        remove_entry_available(plan, avail)
+        new_avail = exit_available(plan, avail)
+        avail.clear()
+        avail.update(new_avail)
+    if config.cc:
+        combine(plan, config.combine_heuristic)
+    placements = place_calls(plan, pipelining=config.pl)
+    return materialize(plan, placements)
+
+
+def _optimize_body(
+    body: List[ir.IRStmt],
+    config: OptimizationConfig,
+    avail: Optional[AvailableSet] = None,
+) -> List[ir.IRStmt]:
+    if avail is None and config.rr_interblock:
+        avail = {}
+    out: List[ir.IRStmt] = []
+    for stmt in body:
+        if isinstance(stmt, ir.Block):
+            out.append(optimize_block(stmt, config, avail))
+        elif isinstance(stmt, ir.ForLoop):
+            # conservative dataflow: the loop body starts with nothing
+            # available and contributes nothing to the code after it
+            out.append(
+                ir.ForLoop(
+                    var=stmt.var,
+                    low=stmt.low,
+                    high=stmt.high,
+                    step=stmt.step,
+                    body=_optimize_body(stmt.body, config),
+                )
+            )
+            if avail is not None:
+                avail.clear()
+        elif isinstance(stmt, ir.RepeatLoop):
+            out.append(
+                ir.RepeatLoop(
+                    body=_optimize_body(stmt.body, config),
+                    cond=stmt.cond,
+                    max_trips=stmt.max_trips,
+                )
+            )
+            if avail is not None:
+                avail.clear()
+        elif isinstance(stmt, ir.IfStmt):
+            out.append(
+                ir.IfStmt(
+                    arms=[
+                        (cond, _optimize_body(arm, config))
+                        for cond, arm in stmt.arms
+                    ],
+                    orelse=_optimize_body(stmt.orelse, config),
+                )
+            )
+            if avail is not None:
+                avail.clear()
+        else:  # pragma: no cover - defensive
+            raise OptimizationError(f"unexpected IR statement {stmt!r}")
+    return out
+
+
+def optimize(program: ir.IRProgram, config: OptimizationConfig) -> ir.IRProgram:
+    """Generate communication for ``program`` and optimize it per
+    ``config``.
+
+    The input must be communication-free (fresh from lowering); the result
+    is a new :class:`~repro.ir.nodes.IRProgram` sharing core statements
+    with the input but with fresh blocks containing IRONMAN calls.
+    """
+    for block in program.walk_blocks():
+        if block.comm_calls():
+            raise OptimizationError(
+                "optimize() expects a communication-free program; "
+                "re-lower the source instead of re-optimizing"
+            )
+    return ir.IRProgram(
+        name=program.name,
+        body=_optimize_body(program.body, config),
+        arrays=dict(program.arrays),
+        scalars=list(program.scalars),
+        config_values=dict(program.config_values),
+    )

@@ -1,0 +1,63 @@
+"""Redundant communication removal.
+
+A communication for ``(array, offset)`` is *redundant* if an earlier
+communication in the same basic block transferred the same data — i.e.
+same array, same offset vector, and the array has not been modified since
+the earlier transfer completed.  Removing it reduces both the number of
+messages and the volume of data sent.
+
+In the paper's TOMCATV fragment, the communication for ``X@east`` on line
+9 is redundant with the one on line 2 because ``X`` is unmodified in
+between.
+
+Implementation: walk the block's planned communications in first-use
+order, keeping, per ``(array, offsets)`` key, the most recent *live*
+transfer.  A later transfer folds into the live one when no write to the
+array occurs between the live transfer's first use and the later use.
+Folding extends the survivor's ``use_region`` to the bounding region of
+all served uses, so the single transfer moves (at least) all data any
+served use needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.comm.planning import BlockPlan, PlannedComm
+from repro.lang.regions import bounding_region
+
+
+def remove_redundant(plan: BlockPlan) -> int:
+    """Apply redundancy removal to ``plan`` in place.
+
+    Returns
+    -------
+    int
+        Number of communications removed.
+    """
+    live: Dict[Tuple[str, Tuple[int, ...]], PlannedComm] = {}
+    kept = []
+    removed = 0
+    for comm in plan.comms:
+        # planning produces single-member comms; combination runs later
+        assert len(comm.members) == 1, "redundancy removal must run first"
+        member = comm.members[0]
+        key = comm.key
+        earlier = live.get(key)
+        if earlier is not None:
+            e_member = earlier.members[0]
+            if not plan.info.written_between(
+                member.array, e_member.use, member.use
+            ):
+                # the earlier transfer's data is still current: fold
+                e_member.use_region = bounding_region(
+                    e_member.use_region.name,
+                    [e_member.use_region, member.use_region],
+                )
+                e_member.all_uses.append(member.use)
+                removed += 1
+                continue
+        live[key] = comm
+        kept.append(comm)
+    plan.comms = kept
+    return removed

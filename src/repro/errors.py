@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the compiler, runtime, or harness derives from
+:class:`ReproError`, so callers can catch one type.  Compiler-side errors
+carry a :class:`~repro.frontend.source.SourceLocation` when one is known,
+and render it in the message in the conventional ``file:line:col`` form.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceError(ReproError):
+    """An error attributable to a location in ZL source code.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    location:
+        Optional ``SourceLocation`` (duck-typed: anything with ``filename``,
+        ``line`` and ``column`` attributes).  When present it is prefixed to
+        the message.
+    """
+
+    def __init__(self, message: str, location=None) -> None:
+        self.bare_message = message
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised by the lexer on malformed input (bad characters, numbers)."""
+
+
+class ParseError(SourceError):
+    """Raised by the parser on syntactically invalid ZL source."""
+
+
+class SemanticError(SourceError):
+    """Raised by semantic analysis: undeclared names, region/shape
+    violations, shifted references escaping an array's declared domain,
+    type mismatches, and similar static errors."""
+
+
+class LoweringError(ReproError):
+    """Raised when a checked AST cannot be lowered to the SPMD IR.
+
+    This indicates an internal inconsistency (semantic analysis should have
+    rejected the program) and is therefore not a :class:`SourceError`.
+    """
+
+
+class OptimizationError(ReproError):
+    """Raised when a communication-optimization pass detects that its
+    preconditions are violated (e.g. a pass handed a schedule that was not
+    produced by naive generation)."""
+
+
+class MachineError(ReproError):
+    """Raised for invalid machine configurations: unknown communication
+    library, non-positive processor counts, unbindable IRONMAN calls."""
+
+
+class RuntimeFault(ReproError):
+    """Raised by the SPMD runtime for dynamic errors: reading fluff that was
+    never filled (when strict checking is enabled), shifted access outside
+    the allocated fluff width, mismatched grids."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for unknown experiment keys or
+    benchmark names."""

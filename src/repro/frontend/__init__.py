@@ -1,0 +1,26 @@
+"""The ZL front end: lexer, parser, and semantic analysis.
+
+ZL is the ZPL-like array sublanguage this reproduction compiles.  It keeps
+the properties the paper's optimizer relies on:
+
+* arrays are whole-program entities operated on by *whole-array
+  statements* — there is no element indexing, so the unit of communication
+  is already an array slice (message vectorization is inherent);
+* nonlocal accesses appear only through the ``@`` shift operator with a
+  compile-time-constant direction, so all communication is statically
+  detectable;
+* statements execute under a *region scope* (``[R] stmt``), and a
+  *source-level basic block* — a maximal run of whole-array statements —
+  is the optimizer's scope.
+
+The pipeline is ``tokenize -> parse -> analyze`` and produces a checked
+:class:`~repro.frontend.ast.Program` that :mod:`repro.ir` lowers to SPMD
+form.
+"""
+
+from repro.frontend.ast import Program
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse
+from repro.frontend.semantic import ProgramInfo, analyze
+
+__all__ = ["tokenize", "parse", "analyze", "Program", "ProgramInfo"]

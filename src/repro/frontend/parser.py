@@ -1,0 +1,459 @@
+"""Recursive-descent parser for ZL.
+
+Grammar (EBNF; ``{}`` repetition, ``[]`` option)::
+
+    program    = "program" IDENT ";" { decl } EOF
+    decl       = config | region | direction | var | procedure
+    config     = "config" IDENT ":" type "=" expr ";"
+    region     = "region" IDENT "=" "[" range { "," range } "]" ";"
+    range      = expr ".." expr
+    direction  = "direction" IDENT "=" "[" sint { "," sint } "]" ";"
+    var        = "var" identlist ":" [ "[" IDENT "]" ] type ";"
+    procedure  = "procedure" IDENT "(" ")" ";" block ";"
+    block      = "begin" { stmt } "end"
+    stmt       = "[" IDENT "]" stmt
+               | block ";"
+               | "for" IDENT ":=" expr "to" expr [ "by" expr ]
+                     "do" { stmt } "end" ";"
+               | "repeat" { stmt } "until" expr ";"
+               | "if" expr "then" { stmt }
+                     { "elsif" expr "then" { stmt } }
+                     [ "else" { stmt } ] "end" ";"
+               | IDENT ":=" expr ";"
+               | IDENT "(" ")" ";"
+
+Expressions use conventional precedence (low to high): ``or``; ``and``;
+``not``; relations ``= != < <= > >=``; additive ``+ -``; multiplicative
+``* /``; unary ``-``; exponent ``^`` (right associative); primary.
+
+Reductions are prefix forms at primary level: ``+<< e``, ``*<< e``,
+``max<< e``, ``min<< e`` with an additive-precedence operand (write
+parentheses for anything looser).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenKind
+
+_TYPE_KINDS = (TokenKind.DOUBLE, TokenKind.INTEGER, TokenKind.BOOLEAN)
+
+_REL_OPS = {
+    TokenKind.EQ: "=",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        i = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _at(self, *kinds: TokenKind) -> bool:
+        return self._peek().kind in kinds
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: TokenKind, what: str = "") -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            want = what or kind.value
+            raise ParseError(f"expected {want}, found {tok}", tok.location)
+        return self._advance()
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        return self._expect(TokenKind.IDENT, what)
+
+    # -- program & declarations -----------------------------------------
+    def parse_program(self) -> ast.Program:
+        loc = self._peek().location
+        self._expect(TokenKind.PROGRAM)
+        name = self._expect_ident("program name").value
+        self._expect(TokenKind.SEMI)
+
+        configs: List[ast.ConfigDecl] = []
+        regions: List[ast.RegionDecl] = []
+        directions: List[ast.DirectionDecl] = []
+        variables: List[ast.VarDecl] = []
+        procedures = {}
+
+        while not self._at(TokenKind.EOF):
+            tok = self._peek()
+            if tok.kind is TokenKind.CONFIG:
+                configs.append(self._parse_config())
+            elif tok.kind is TokenKind.REGION:
+                regions.append(self._parse_region())
+            elif tok.kind is TokenKind.DIRECTION:
+                directions.append(self._parse_direction())
+            elif tok.kind is TokenKind.VAR:
+                variables.append(self._parse_var())
+            elif tok.kind is TokenKind.PROCEDURE:
+                proc = self._parse_procedure()
+                if proc.name in procedures:
+                    raise ParseError(
+                        f"duplicate procedure {proc.name!r}", proc.location
+                    )
+                procedures[proc.name] = proc
+            else:
+                raise ParseError(f"expected a declaration, found {tok}", tok.location)
+
+        if "main" not in procedures:
+            raise ParseError("program has no 'main' procedure", loc)
+        return ast.Program(
+            name=name,
+            configs=configs,
+            regions=regions,
+            directions=directions,
+            variables=variables,
+            procedures=procedures,
+            location=loc,
+        )
+
+    def _parse_config(self) -> ast.ConfigDecl:
+        loc = self._advance().location  # 'config'
+        name = self._expect_ident("config name").value
+        self._expect(TokenKind.COLON)
+        type_tok = self._peek()
+        if type_tok.kind not in _TYPE_KINDS:
+            raise ParseError(f"expected a type, found {type_tok}", type_tok.location)
+        self._advance()
+        self._expect(TokenKind.EQ)
+        default = self.parse_expr()
+        self._expect(TokenKind.SEMI)
+        return ast.ConfigDecl(name, type_tok.value, default, location=loc)
+
+    def _parse_region(self) -> ast.RegionDecl:
+        loc = self._advance().location  # 'region'
+        name = self._expect_ident("region name").value
+        self._expect(TokenKind.EQ)
+        self._expect(TokenKind.LBRACKET)
+        ranges: List[Tuple[ast.Expr, ast.Expr]] = []
+        while True:
+            low = self.parse_expr()
+            self._expect(TokenKind.DOTDOT)
+            high = self.parse_expr()
+            ranges.append((low, high))
+            if self._at(TokenKind.COMMA):
+                self._advance()
+            else:
+                break
+        self._expect(TokenKind.RBRACKET)
+        self._expect(TokenKind.SEMI)
+        return ast.RegionDecl(name, ranges, location=loc)
+
+    def _parse_direction(self) -> ast.DirectionDecl:
+        loc = self._advance().location  # 'direction'
+        name = self._expect_ident("direction name").value
+        self._expect(TokenKind.EQ)
+        self._expect(TokenKind.LBRACKET)
+        offsets: List[int] = []
+        while True:
+            offsets.append(self._parse_signed_int())
+            if self._at(TokenKind.COMMA):
+                self._advance()
+            else:
+                break
+        self._expect(TokenKind.RBRACKET)
+        self._expect(TokenKind.SEMI)
+        return ast.DirectionDecl(name, offsets, location=loc)
+
+    def _parse_signed_int(self) -> int:
+        sign = 1
+        if self._at(TokenKind.MINUS):
+            self._advance()
+            sign = -1
+        elif self._at(TokenKind.PLUS):
+            self._advance()
+        tok = self._expect(TokenKind.INTLIT, "integer offset")
+        return sign * int(tok.value)
+
+    def _parse_var(self) -> ast.VarDecl:
+        loc = self._advance().location  # 'var'
+        names = [self._expect_ident("variable name").value]
+        while self._at(TokenKind.COMMA):
+            self._advance()
+            names.append(self._expect_ident("variable name").value)
+        self._expect(TokenKind.COLON)
+        region: Optional[str] = None
+        if self._at(TokenKind.LBRACKET):
+            self._advance()
+            region = self._expect_ident("region name").value
+            self._expect(TokenKind.RBRACKET)
+        type_tok = self._peek()
+        if type_tok.kind not in _TYPE_KINDS:
+            raise ParseError(f"expected a type, found {type_tok}", type_tok.location)
+        self._advance()
+        self._expect(TokenKind.SEMI)
+        return ast.VarDecl(names, region, type_tok.value, location=loc)
+
+    def _parse_procedure(self) -> ast.ProcedureDecl:
+        loc = self._advance().location  # 'procedure'
+        name = self._expect_ident("procedure name").value
+        self._expect(TokenKind.LPAREN)
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        body = self._parse_block()
+        self._expect(TokenKind.SEMI)
+        return ast.ProcedureDecl(name, body, location=loc)
+
+    # -- statements -------------------------------------------------------
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect(TokenKind.BEGIN)
+        body = self._parse_stmts_until(TokenKind.END)
+        self._expect(TokenKind.END)
+        return body
+
+    def _parse_stmts_until(self, *terminators: TokenKind) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        while not self._at(*terminators, TokenKind.EOF):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind is TokenKind.LBRACKET:
+            return self._parse_region_scope()
+        if tok.kind is TokenKind.BEGIN:
+            body = self._parse_block()
+            self._expect(TokenKind.SEMI)
+            # a bare begin/end introduces no scope; represent it as a
+            # region-less scope by flattening into an If-free wrapper.
+            return ast.RegionScope("", body, location=tok.location)
+        if tok.kind is TokenKind.FOR:
+            return self._parse_for()
+        if tok.kind is TokenKind.REPEAT:
+            return self._parse_repeat()
+        if tok.kind is TokenKind.IF:
+            return self._parse_if()
+        if tok.kind is TokenKind.IDENT:
+            return self._parse_assign_or_call()
+        raise ParseError(f"expected a statement, found {tok}", tok.location)
+
+    def _parse_region_scope(self) -> ast.RegionScope:
+        loc = self._advance().location  # '['
+        region = self._expect_ident("region name").value
+        self._expect(TokenKind.RBRACKET)
+        if self._at(TokenKind.BEGIN):
+            body = self._parse_block()
+            self._expect(TokenKind.SEMI)
+        else:
+            body = [self.parse_stmt()]
+        return ast.RegionScope(region, body, location=loc)
+
+    def _parse_for(self) -> ast.For:
+        loc = self._advance().location  # 'for'
+        var = self._expect_ident("loop variable").value
+        self._expect(TokenKind.ASSIGN)
+        low = self.parse_expr()
+        self._expect(TokenKind.TO)
+        high = self.parse_expr()
+        step: Optional[ast.Expr] = None
+        if self._at(TokenKind.BY):
+            self._advance()
+            step = self.parse_expr()
+        self._expect(TokenKind.DO)
+        body = self._parse_stmts_until(TokenKind.END)
+        self._expect(TokenKind.END)
+        self._expect(TokenKind.SEMI)
+        return ast.For(var, low, high, step, body, location=loc)
+
+    def _parse_repeat(self) -> ast.Repeat:
+        loc = self._advance().location  # 'repeat'
+        body = self._parse_stmts_until(TokenKind.UNTIL)
+        self._expect(TokenKind.UNTIL)
+        cond = self.parse_expr()
+        self._expect(TokenKind.SEMI)
+        return ast.Repeat(body, cond, location=loc)
+
+    def _parse_if(self) -> ast.If:
+        loc = self._advance().location  # 'if'
+        arms: List[Tuple[ast.Expr, List[ast.Stmt]]] = []
+        cond = self.parse_expr()
+        self._expect(TokenKind.THEN)
+        body = self._parse_stmts_until(
+            TokenKind.ELSIF, TokenKind.ELSE, TokenKind.END
+        )
+        arms.append((cond, body))
+        while self._at(TokenKind.ELSIF):
+            self._advance()
+            cond = self.parse_expr()
+            self._expect(TokenKind.THEN)
+            body = self._parse_stmts_until(
+                TokenKind.ELSIF, TokenKind.ELSE, TokenKind.END
+            )
+            arms.append((cond, body))
+        orelse: List[ast.Stmt] = []
+        if self._at(TokenKind.ELSE):
+            self._advance()
+            orelse = self._parse_stmts_until(TokenKind.END)
+        self._expect(TokenKind.END)
+        self._expect(TokenKind.SEMI)
+        return ast.If(arms, orelse, location=loc)
+
+    def _parse_assign_or_call(self) -> ast.Stmt:
+        name_tok = self._advance()
+        if self._at(TokenKind.ASSIGN):
+            self._advance()
+            value = self.parse_expr()
+            self._expect(TokenKind.SEMI)
+            return ast.Assign(name_tok.value, value, location=name_tok.location)
+        if self._at(TokenKind.LPAREN):
+            self._advance()
+            self._expect(TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI)
+            return ast.CallStmt(name_tok.value, location=name_tok.location)
+        tok = self._peek()
+        raise ParseError(f"expected ':=' or '()', found {tok}", tok.location)
+
+    # -- expressions ------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self._at(TokenKind.OR):
+            loc = self._advance().location
+            expr = ast.BinOp("or", expr, self._parse_and(), location=loc)
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_not()
+        while self._at(TokenKind.AND):
+            loc = self._advance().location
+            expr = ast.BinOp("and", expr, self._parse_not(), location=loc)
+        return expr
+
+    def _parse_not(self) -> ast.Expr:
+        if self._at(TokenKind.NOT):
+            loc = self._advance().location
+            return ast.UnOp("not", self._parse_not(), location=loc)
+        return self._parse_relation()
+
+    def _parse_relation(self) -> ast.Expr:
+        expr = self._parse_additive()
+        if self._peek().kind in _REL_OPS:
+            tok = self._advance()
+            rhs = self._parse_additive()
+            expr = ast.BinOp(_REL_OPS[tok.kind], expr, rhs, location=tok.location)
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while self._at(TokenKind.PLUS, TokenKind.MINUS):
+            tok = self._advance()
+            op = "+" if tok.kind is TokenKind.PLUS else "-"
+            expr = ast.BinOp(
+                op, expr, self._parse_multiplicative(), location=tok.location
+            )
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while self._at(TokenKind.STAR, TokenKind.SLASH):
+            tok = self._advance()
+            op = "*" if tok.kind is TokenKind.STAR else "/"
+            expr = ast.BinOp(op, expr, self._parse_unary(), location=tok.location)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._at(TokenKind.MINUS) and self._peek(1).kind is not TokenKind.REDUCE:
+            loc = self._advance().location
+            return ast.UnOp("-", self._parse_unary(), location=loc)
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_primary()
+        if self._at(TokenKind.CARET):
+            loc = self._advance().location
+            # right-associative
+            return ast.BinOp("^", base, self._parse_unary(), location=loc)
+        return base
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        # reductions: '+<<', '*<<', 'max<<', 'min<<'
+        if (
+            tok.kind in (TokenKind.PLUS, TokenKind.STAR)
+            and self._peek(1).kind is TokenKind.REDUCE
+        ):
+            self._advance()
+            self._advance()
+            op = "+" if tok.kind is TokenKind.PLUS else "*"
+            return ast.Reduce(op, self._parse_additive(), location=tok.location)
+        if (
+            tok.kind is TokenKind.IDENT
+            and tok.value in ("max", "min")
+            and self._peek(1).kind is TokenKind.REDUCE
+        ):
+            self._advance()
+            self._advance()
+            return ast.Reduce(tok.value, self._parse_additive(), location=tok.location)
+
+        if tok.kind is TokenKind.INTLIT:
+            self._advance()
+            return ast.IntLit(int(tok.value), location=tok.location)
+        if tok.kind is TokenKind.FLOATLIT:
+            self._advance()
+            return ast.FloatLit(float(tok.value), location=tok.location)
+        if tok.kind is TokenKind.TRUE:
+            self._advance()
+            return ast.BoolLit(True, location=tok.location)
+        if tok.kind is TokenKind.FALSE:
+            self._advance()
+            return ast.BoolLit(False, location=tok.location)
+        if tok.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self.parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            if self._at(TokenKind.AT, TokenKind.WRAPAT):
+                wrap = self._peek().kind is TokenKind.WRAPAT
+                self._advance()
+                dir_tok = self._expect_ident("direction name")
+                return ast.ShiftRef(
+                    tok.value, dir_tok.value, wrap=wrap, location=tok.location
+                )
+            if self._at(TokenKind.LPAREN):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._at(TokenKind.RPAREN):
+                    args.append(self.parse_expr())
+                    while self._at(TokenKind.COMMA):
+                        self._advance()
+                        args.append(self.parse_expr())
+                self._expect(TokenKind.RPAREN)
+                return ast.Call(tok.value, args, location=tok.location)
+            return ast.NameRef(tok.value, location=tok.location)
+        raise ParseError(f"expected an expression, found {tok}", tok.location)
+
+
+def parse(text: str, filename: str = "<string>") -> ast.Program:
+    """Parse ZL source text into an (unchecked) :class:`~repro.frontend.ast.Program`.
+
+    Raises
+    ------
+    LexError, ParseError
+        On malformed input; errors carry source locations.
+    """
+    parser = _Parser(tokenize(text, filename))
+    program = parser.parse_program()
+    return program

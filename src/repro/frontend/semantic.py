@@ -1,0 +1,566 @@
+"""Semantic analysis for ZL.
+
+Responsibilities:
+
+* evaluate config constants (with caller overrides — this is how the
+  benchmark harness sets problem sizes), region bounds, and directions;
+* build the :class:`~repro.frontend.symbols.SymbolTable`;
+* classify every expression as *parallel* (array-valued) or *scalar*;
+* enforce ZL's static rules, in particular the ones the optimizer depends
+  on: every array statement has a region scope of matching rank, and every
+  shifted read ``A@d`` over scope region ``r`` satisfies
+  ``shift(r, d) ⊆ domain(A)`` so communication partners are always
+  well-defined;
+* compute per-array fluff (ghost) widths — the per-dimension maximum
+  absolute shift offset applied to that array anywhere in the program.
+
+The result, :class:`ProgramInfo`, is the complete compile-time picture
+that lowering (:mod:`repro.ir.build`) and the runtime consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+from repro.frontend.symbols import (
+    ArraySymbol,
+    ConfigSymbol,
+    DirectionSymbol,
+    RegionSymbol,
+    ScalarSymbol,
+    SymbolTable,
+)
+from repro.lang.regions import Direction, Region
+from repro.lang.types import BOOLEAN, DOUBLE, INTEGER, ScalarType, type_by_name
+
+#: Intrinsic functions: name -> (min arity, max arity)
+INTRINSICS: Dict[str, Tuple[int, int]] = {
+    "abs": (1, 1),
+    "fabs": (1, 1),
+    "sqrt": (1, 1),
+    "exp": (1, 1),
+    "ln": (1, 1),
+    "log": (1, 1),
+    "sin": (1, 1),
+    "cos": (1, 1),
+    "tanh": (1, 1),
+    "floor": (1, 1),
+    "ceil": (1, 1),
+    "sign": (1, 1),
+    "min": (2, 2),
+    "max": (2, 2),
+    "pow": (2, 2),
+}
+
+#: Builtin index arrays (ZPL's Index1/Index2/Index3): indexK evaluates, at
+#: each point of the enclosing region scope, to that point's K-th
+#: coordinate.
+INDEX_BUILTINS = {"index1": 1, "index2": 2, "index3": 3}
+
+
+@dataclass
+class ProgramInfo:
+    """Everything semantic analysis learned about a checked program."""
+
+    program: ast.Program
+    symbols: SymbolTable
+    config_values: Dict[str, float]
+    #: per-array fluff width, one non-negative int per dimension
+    fluff_widths: Dict[str, Tuple[int, ...]]
+    #: every (array, direction-name) pair that appears as A@d in the program
+    shift_uses: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def region(self, name: str) -> Region:
+        return self.symbols.regions[name].region
+
+    def direction(self, name: str) -> Direction:
+        return self.symbols.directions[name].direction
+
+    def array(self, name: str) -> ArraySymbol:
+        return self.symbols.arrays[name]
+
+
+# ---------------------------------------------------------------------------
+# constant evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_const_expr(expr: ast.Expr, env: Dict[str, float]) -> float:
+    """Evaluate a compile-time-constant expression over config values.
+
+    Used for config defaults and region bounds.  Supports arithmetic,
+    unary minus, and the two-argument ``min``/``max`` intrinsics.
+    Integer/integer division truncates toward negative infinity
+    (Python ``//``) only when both operands are integral.
+    """
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.NameRef):
+        if expr.name not in env:
+            raise SemanticError(
+                f"{expr.name!r} is not a config constant usable in a "
+                "constant expression",
+                expr.location,
+            )
+        return env[expr.name]
+    if isinstance(expr, ast.UnOp) and expr.op == "-":
+        return -eval_const_expr(expr.operand, env)
+    if isinstance(expr, ast.BinOp):
+        a = eval_const_expr(expr.lhs, env)
+        b = eval_const_expr(expr.rhs, env)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "/":
+            if isinstance(a, int) and isinstance(b, int):
+                if b == 0:
+                    raise SemanticError("division by zero in constant", expr.location)
+                return a // b
+            return a / b
+        if expr.op == "^":
+            return a**b
+        raise SemanticError(
+            f"operator {expr.op!r} not allowed in constant expression",
+            expr.location,
+        )
+    if isinstance(expr, ast.Call) and expr.func in ("min", "max") and len(expr.args) == 2:
+        vals = [eval_const_expr(a, env) for a in expr.args]
+        return min(vals) if expr.func == "min" else max(vals)
+    raise SemanticError("expression is not compile-time constant", expr.location)
+
+
+def _require_int(value: float, what: str, location) -> int:
+    if isinstance(value, bool) or not float(value).is_integer():
+        raise SemanticError(f"{what} must be an integer, got {value}", location)
+    return int(value)
+
+
+# ---------------------------------------------------------------------------
+# the analyzer
+# ---------------------------------------------------------------------------
+
+
+class _Analyzer:
+    def __init__(
+        self, program: ast.Program, config_overrides: Optional[Dict[str, float]]
+    ) -> None:
+        self.program = program
+        self.overrides = dict(config_overrides or {})
+        self.symbols = SymbolTable()
+        self.config_values: Dict[str, float] = {}
+        self.fluff: Dict[str, List[int]] = {}
+        self.shift_uses: List[Tuple[str, str]] = []
+        self._region_stack: List[str] = []
+        self._call_stack: List[str] = []
+
+    # -- entry -------------------------------------------------------------
+    def run(self) -> ProgramInfo:
+        self._declare_configs()
+        self._declare_regions()
+        self._declare_directions()
+        self._declare_variables()
+        self._check_procedure(self.program.main)
+        unknown = set(self.overrides) - set(self.config_values)
+        if unknown:
+            raise SemanticError(
+                f"config overrides for undeclared names: {sorted(unknown)}"
+            )
+        return ProgramInfo(
+            program=self.program,
+            symbols=self.symbols,
+            config_values=dict(self.config_values),
+            fluff_widths={k: tuple(v) for k, v in self.fluff.items()},
+            shift_uses=list(dict.fromkeys(self.shift_uses)),
+        )
+
+    # -- declarations --------------------------------------------------------
+    def _declare_configs(self) -> None:
+        for decl in self.program.configs:
+            ctype = type_by_name(decl.type_name)
+            if decl.name in self.overrides:
+                value = self.overrides[decl.name]
+            else:
+                value = eval_const_expr(decl.default, self.config_values)
+            if ctype is INTEGER:
+                value = _require_int(value, f"config {decl.name!r}", decl.location)
+            self.config_values[decl.name] = value
+            self.symbols.declare(
+                ConfigSymbol(decl.name, ctype, value), decl.location
+            )
+
+    def _declare_regions(self) -> None:
+        for decl in self.program.regions:
+            lows: List[int] = []
+            highs: List[int] = []
+            for lo_expr, hi_expr in decl.ranges:
+                lo = _require_int(
+                    eval_const_expr(lo_expr, self.config_values),
+                    f"region {decl.name!r} lower bound",
+                    decl.location,
+                )
+                hi = _require_int(
+                    eval_const_expr(hi_expr, self.config_values),
+                    f"region {decl.name!r} upper bound",
+                    decl.location,
+                )
+                lows.append(lo)
+                highs.append(hi)
+            region = Region(decl.name, tuple(lows), tuple(highs))
+            if region.is_empty:
+                raise SemanticError(
+                    f"region {decl.name!r} is empty: {region}", decl.location
+                )
+            self.symbols.declare(RegionSymbol(decl.name, region), decl.location)
+
+    def _declare_directions(self) -> None:
+        for decl in self.program.directions:
+            direction = Direction(decl.name, tuple(decl.offsets))
+            if direction.is_zero:
+                raise SemanticError(
+                    f"direction {decl.name!r} is the zero vector", decl.location
+                )
+            self.symbols.declare(
+                DirectionSymbol(decl.name, direction), decl.location
+            )
+
+    def _declare_variables(self) -> None:
+        for decl in self.program.variables:
+            vtype = type_by_name(decl.type_name)
+            for name in decl.names:
+                if decl.region is None:
+                    self.symbols.declare(ScalarSymbol(name, vtype), decl.location)
+                else:
+                    region = self.symbols.require_region(decl.region, decl.location)
+                    self.symbols.declare(
+                        ArraySymbol(name, decl.region, region, vtype),
+                        decl.location,
+                    )
+                    self.fluff[name] = [0] * region.rank
+
+    # -- statements ------------------------------------------------------------
+    def _check_procedure(self, name: str) -> None:
+        proc = self.program.procedures.get(name)
+        if proc is None:
+            raise SemanticError(f"call to undeclared procedure {name!r}")
+        if name in self._call_stack:
+            cycle = " -> ".join(self._call_stack + [name])
+            raise SemanticError(f"recursive procedure call: {cycle}", proc.location)
+        self._call_stack.append(name)
+        try:
+            self._check_stmts(proc.body)
+        finally:
+            self._call_stack.pop()
+
+    def _check_stmts(self, stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._check_stmt(stmt)
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.RegionScope):
+            if stmt.region:
+                self.symbols.require_region(stmt.region, stmt.location)
+                self._region_stack.append(stmt.region)
+                try:
+                    self._check_stmts(stmt.body)
+                finally:
+                    self._region_stack.pop()
+            else:
+                self._check_stmts(stmt.body)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt)
+        elif isinstance(stmt, ast.For):
+            self._check_scalar_expr(stmt.low, int_context=True)
+            self._check_scalar_expr(stmt.high, int_context=True)
+            if stmt.step is not None:
+                self._check_scalar_expr(stmt.step, int_context=True)
+            self.symbols.push_loop_var(stmt.var, stmt.location)
+            try:
+                self._check_stmts(stmt.body)
+            finally:
+                self.symbols.pop_loop_var(stmt.var)
+        elif isinstance(stmt, ast.Repeat):
+            self._check_stmts(stmt.body)
+            self._check_scalar_expr(stmt.cond)
+        elif isinstance(stmt, ast.If):
+            for cond, body in stmt.arms:
+                self._check_scalar_expr(cond)
+                self._check_stmts(body)
+            self._check_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.CallStmt):
+            self._check_procedure(stmt.proc)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unknown statement {stmt!r}", stmt.location)
+
+    def _check_assign(self, stmt: ast.Assign) -> None:
+        target = self.symbols.lookup_any(stmt.target)
+        if target is None:
+            raise SemanticError(
+                f"assignment to undeclared name {stmt.target!r}", stmt.location
+            )
+        if isinstance(target, ArraySymbol):
+            scope = self._current_region(stmt.location)
+            if scope.rank != target.rank:
+                raise SemanticError(
+                    f"array {target.name!r} has rank {target.rank} but the "
+                    f"region scope {scope.name!r} has rank {scope.rank}",
+                    stmt.location,
+                )
+            if not target.region.contains(scope):
+                raise SemanticError(
+                    f"region scope {scope.name!r} {scope} is not contained "
+                    f"in the domain {target.region} of array {target.name!r}",
+                    stmt.location,
+                )
+            self._check_parallel_expr(stmt.value, scope)
+        elif isinstance(target, ScalarSymbol):
+            self._check_scalar_expr(stmt.value)
+        elif isinstance(target, ConfigSymbol):
+            raise SemanticError(
+                f"cannot assign to config constant {stmt.target!r}", stmt.location
+            )
+        else:
+            raise SemanticError(
+                f"cannot assign to {stmt.target!r} (a "
+                f"{type(target).__name__})",
+                stmt.location,
+            )
+
+    def _current_region(self, location) -> Region:
+        if not self._region_stack:
+            raise SemanticError(
+                "array statement outside any region scope", location
+            )
+        return self.symbols.regions[self._region_stack[-1]].region
+
+    # -- expressions --------------------------------------------------------
+    def _check_parallel_expr(self, expr: ast.Expr, scope: Region) -> None:
+        """Check an expression appearing in an array statement executed over
+        region ``scope``.  Scalars broadcast; arrays must cover the scope."""
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+            return
+        if isinstance(expr, ast.NameRef):
+            name = expr.name
+            if name in INDEX_BUILTINS:
+                if INDEX_BUILTINS[name] > scope.rank:
+                    raise SemanticError(
+                        f"{name} used in a rank-{scope.rank} region scope",
+                        expr.location,
+                    )
+                return
+            sym = self.symbols.lookup_any(name)
+            if sym is None and not self.symbols.is_loop_var(name):
+                raise SemanticError(f"undeclared name {name!r}", expr.location)
+            if isinstance(sym, ArraySymbol):
+                self._check_array_read(sym, None, scope, expr.location)
+            elif isinstance(sym, (RegionSymbol, DirectionSymbol)):
+                raise SemanticError(
+                    f"{name!r} is not a value in this context", expr.location
+                )
+            return
+        if isinstance(expr, ast.ShiftRef):
+            sym = self.symbols.require_array(expr.array, expr.location)
+            direction = self.symbols.require_direction(expr.direction, expr.location)
+            if expr.wrap:
+                self._check_wrap_read(sym, direction, scope, expr.location)
+            else:
+                self._check_array_read(sym, direction, scope, expr.location)
+            self._record_shift(sym, direction, expr.location)
+            return
+        if isinstance(expr, ast.BinOp):
+            self._check_parallel_expr(expr.lhs, scope)
+            self._check_parallel_expr(expr.rhs, scope)
+            return
+        if isinstance(expr, ast.UnOp):
+            self._check_parallel_expr(expr.operand, scope)
+            return
+        if isinstance(expr, ast.Call):
+            self._check_intrinsic(expr)
+            for arg in expr.args:
+                self._check_parallel_expr(arg, scope)
+            return
+        if isinstance(expr, ast.Reduce):
+            raise SemanticError(
+                "reductions are not allowed inside array statements "
+                "(assign the reduction to a scalar first)",
+                expr.location,
+            )
+        raise SemanticError(f"unsupported expression {expr!r}", expr.location)
+
+    def _check_array_read(
+        self,
+        sym: ArraySymbol,
+        direction: Optional[Direction],
+        scope: Region,
+        location,
+    ) -> None:
+        if sym.rank != scope.rank:
+            raise SemanticError(
+                f"array {sym.name!r} has rank {sym.rank} but the region "
+                f"scope has rank {scope.rank}",
+                location,
+            )
+        if direction is not None and direction.rank != sym.rank:
+            raise SemanticError(
+                f"direction {direction.name!r} has rank {direction.rank} "
+                f"but array {sym.name!r} has rank {sym.rank}",
+                location,
+            )
+        read = scope if direction is None else scope.shifted(direction)
+        if not sym.region.contains(read):
+            how = f"@{direction.name}" if direction else ""
+            raise SemanticError(
+                f"reading {sym.name}{how} over {scope} touches {read}, "
+                f"outside the array's domain {sym.region}",
+                location,
+            )
+
+    def _check_wrap_read(
+        self,
+        sym: ArraySymbol,
+        direction: Direction,
+        scope: Region,
+        location,
+    ) -> None:
+        """A periodic (wrap-@) read: indices falling off the array's
+        domain wrap to the opposite edge.  The scope itself must lie in
+        the domain; shifts along processor-local dimensions (dim >= 2)
+        cannot wrap (local buffers carry no fluff there)."""
+        if sym.rank != scope.rank or direction.rank != sym.rank:
+            raise SemanticError(
+                f"rank mismatch in wrap read of {sym.name!r}", location
+            )
+        if not sym.region.contains(scope):
+            raise SemanticError(
+                f"wrap read of {sym.name!r} over {scope} outside the "
+                f"array's domain {sym.region}",
+                location,
+            )
+        local_dims = range(1 if sym.rank == 1 else 2, sym.rank)
+        for d in local_dims:
+            if direction.offsets[d] != 0:
+                raise SemanticError(
+                    f"wrap shift {direction.name!r} moves along "
+                    f"processor-local dimension {d + 1}; wrap is only "
+                    "supported along distributed dimensions",
+                    location,
+                )
+        for d, off in enumerate(direction.offsets):
+            extent = sym.region.highs[d] - sym.region.lows[d] + 1
+            if abs(off) >= extent:
+                raise SemanticError(
+                    f"wrap shift {direction.name!r} offset {off} is as "
+                    f"large as the domain extent {extent} in dim {d + 1}",
+                    location,
+                )
+
+    def _record_shift(self, sym: ArraySymbol, direction: Direction, location) -> None:
+        if direction.rank != sym.rank:
+            raise SemanticError(
+                f"direction {direction.name!r} has rank {direction.rank} "
+                f"but array {sym.name!r} has rank {sym.rank}",
+                location,
+            )
+        widths = self.fluff[sym.name]
+        for d, off in enumerate(direction.offsets):
+            widths[d] = max(widths[d], abs(off))
+        self.shift_uses.append((sym.name, direction.name))
+
+    def _check_scalar_expr(self, expr: ast.Expr, int_context: bool = False) -> None:
+        """Check an expression in scalar position (scalar assignment RHS,
+        loop bounds, conditions).  Array references may appear only inside
+        a reduction."""
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+            return
+        if isinstance(expr, ast.NameRef):
+            name = expr.name
+            if self.symbols.is_loop_var(name):
+                return
+            sym = self.symbols.lookup_any(name)
+            if sym is None:
+                raise SemanticError(f"undeclared name {name!r}", expr.location)
+            if isinstance(sym, ArraySymbol):
+                raise SemanticError(
+                    f"array {name!r} used in scalar context (wrap it in a "
+                    "reduction such as +<<)",
+                    expr.location,
+                )
+            if isinstance(sym, (RegionSymbol, DirectionSymbol)):
+                raise SemanticError(
+                    f"{name!r} is not a value in this context", expr.location
+                )
+            return
+        if isinstance(expr, ast.ShiftRef):
+            raise SemanticError(
+                "shifted array reference in scalar context", expr.location
+            )
+        if isinstance(expr, ast.BinOp):
+            self._check_scalar_expr(expr.lhs, int_context)
+            self._check_scalar_expr(expr.rhs, int_context)
+            return
+        if isinstance(expr, ast.UnOp):
+            self._check_scalar_expr(expr.operand, int_context)
+            return
+        if isinstance(expr, ast.Call):
+            self._check_intrinsic(expr)
+            for arg in expr.args:
+                self._check_scalar_expr(arg, int_context)
+            return
+        if isinstance(expr, ast.Reduce):
+            scope = self._current_region(expr.location)
+            self._check_parallel_expr(expr.operand, scope)
+            return
+        raise SemanticError(f"unsupported expression {expr!r}", expr.location)
+
+    def _check_intrinsic(self, expr: ast.Call) -> None:
+        if expr.func not in INTRINSICS:
+            raise SemanticError(
+                f"unknown function {expr.func!r} (user functions take the "
+                "form of procedures and cannot appear in expressions)",
+                expr.location,
+            )
+        lo, hi = INTRINSICS[expr.func]
+        if not (lo <= len(expr.args) <= hi):
+            raise SemanticError(
+                f"{expr.func} expects {lo}"
+                + (f"..{hi}" if hi != lo else "")
+                + f" arguments, got {len(expr.args)}",
+                expr.location,
+            )
+
+
+def analyze(
+    program: ast.Program, config: Optional[Dict[str, float]] = None
+) -> ProgramInfo:
+    """Semantically check ``program`` and resolve compile-time values.
+
+    Parameters
+    ----------
+    program:
+        A parsed :class:`~repro.frontend.ast.Program`.
+    config:
+        Overrides for ``config`` constants, e.g. ``{"n": 128}``.  This is
+        how the harness sets the paper's problem sizes without editing
+        sources.
+
+    Returns
+    -------
+    ProgramInfo
+
+    Raises
+    ------
+    SemanticError
+        On any static violation; the message carries a source location.
+    """
+    return _Analyzer(program, config).run()

@@ -1,0 +1,59 @@
+"""Source text bookkeeping: locations and snippet extraction.
+
+Every token and AST node carries a :class:`SourceLocation` so that errors
+anywhere in the pipeline (including semantic analysis, which runs long
+after lexing) can point at the offending source line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a ZL source file (1-based line and column)."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, 0)
+
+
+@dataclass
+class SourceFile:
+    """A named body of ZL source text.
+
+    Keeps the split lines so diagnostics can quote the source.  ``name``
+    defaults to ``<string>`` for programs supplied inline (as the bundled
+    benchmark programs are).
+    """
+
+    text: str
+    name: str = "<string>"
+    _lines: List[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._lines = self.text.splitlines()
+
+    def location(self, line: int, column: int) -> SourceLocation:
+        """Build a location within this file."""
+        return SourceLocation(self.name, line, column)
+
+    def line_text(self, line: int) -> str:
+        """The text of a 1-based line number ('' if out of range)."""
+        if 1 <= line <= len(self._lines):
+            return self._lines[line - 1]
+        return ""
+
+    def snippet(self, loc: SourceLocation) -> str:
+        """A two-line diagnostic snippet: the source line plus a caret."""
+        text = self.line_text(loc.line)
+        caret = " " * max(0, loc.column - 1) + "^"
+        return f"{text}\n{caret}"

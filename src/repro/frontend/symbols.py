@@ -1,0 +1,142 @@
+"""Symbol table for ZL semantic analysis.
+
+ZL has a single flat global namespace for configs, regions, directions,
+arrays and scalars (procedures live in their own table on the AST).
+Loop variables are the only lexically scoped names; the analyzer manages
+them with an explicit scope stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.frontend.source import SourceLocation
+from repro.lang.regions import Direction, Region
+from repro.lang.types import ScalarType
+
+
+@dataclass(frozen=True)
+class ConfigSymbol:
+    """A compile-time constant (possibly overridden at compile time)."""
+
+    name: str
+    type: ScalarType
+    value: float  # ints stored exactly; floats as-is
+
+
+@dataclass(frozen=True)
+class RegionSymbol:
+    """A named region with its evaluated bounds."""
+
+    name: str
+    region: Region
+
+
+@dataclass(frozen=True)
+class DirectionSymbol:
+    """A named direction."""
+
+    name: str
+    direction: Direction
+
+
+@dataclass(frozen=True)
+class ArraySymbol:
+    """A parallel array declared over a region."""
+
+    name: str
+    region_name: str
+    region: Region
+    type: ScalarType
+
+    @property
+    def rank(self) -> int:
+        return self.region.rank
+
+
+@dataclass(frozen=True)
+class ScalarSymbol:
+    """A replicated scalar variable."""
+
+    name: str
+    type: ScalarType
+
+
+class SymbolTable:
+    """Flat global namespace plus a loop-variable scope stack."""
+
+    def __init__(self) -> None:
+        self.configs: Dict[str, ConfigSymbol] = {}
+        self.regions: Dict[str, RegionSymbol] = {}
+        self.directions: Dict[str, DirectionSymbol] = {}
+        self.arrays: Dict[str, ArraySymbol] = {}
+        self.scalars: Dict[str, ScalarSymbol] = {}
+        self._loop_vars: List[str] = []
+
+    # -- declaration -----------------------------------------------------
+    def declare(self, symbol, location: Optional[SourceLocation] = None) -> None:
+        """Insert a symbol, rejecting duplicates across all namespaces."""
+        name = symbol.name
+        if self.lookup_any(name) is not None:
+            raise SemanticError(f"duplicate declaration of {name!r}", location)
+        if isinstance(symbol, ConfigSymbol):
+            self.configs[name] = symbol
+        elif isinstance(symbol, RegionSymbol):
+            self.regions[name] = symbol
+        elif isinstance(symbol, DirectionSymbol):
+            self.directions[name] = symbol
+        elif isinstance(symbol, ArraySymbol):
+            self.arrays[name] = symbol
+        elif isinstance(symbol, ScalarSymbol):
+            self.scalars[name] = symbol
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown symbol kind: {symbol!r}")
+
+    # -- loop variables ----------------------------------------------------
+    def push_loop_var(self, name: str, location=None) -> None:
+        if self.lookup_any(name) is not None or name in self._loop_vars:
+            raise SemanticError(
+                f"loop variable {name!r} shadows an existing name", location
+            )
+        self._loop_vars.append(name)
+
+    def pop_loop_var(self, name: str) -> None:
+        assert self._loop_vars and self._loop_vars[-1] == name
+        self._loop_vars.pop()
+
+    def is_loop_var(self, name: str) -> bool:
+        return name in self._loop_vars
+
+    # -- lookup ------------------------------------------------------------
+    def lookup_any(self, name: str):
+        """Find a symbol of any kind (None if undeclared)."""
+        for table in (
+            self.configs,
+            self.regions,
+            self.directions,
+            self.arrays,
+            self.scalars,
+        ):
+            if name in table:
+                return table[name]
+        return None
+
+    def require_region(self, name: str, location=None) -> Region:
+        sym = self.regions.get(name)
+        if sym is None:
+            raise SemanticError(f"undeclared region {name!r}", location)
+        return sym.region
+
+    def require_direction(self, name: str, location=None) -> Direction:
+        sym = self.directions.get(name)
+        if sym is None:
+            raise SemanticError(f"undeclared direction {name!r}", location)
+        return sym.direction
+
+    def require_array(self, name: str, location=None) -> ArraySymbol:
+        sym = self.arrays.get(name)
+        if sym is None:
+            raise SemanticError(f"undeclared array {name!r}", location)
+        return sym

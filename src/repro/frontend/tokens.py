@@ -1,0 +1,125 @@
+"""Token kinds and the token value type for the ZL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.frontend.source import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of ZL.
+
+    Keywords are lexed as their own kinds (not as IDENT with a flag) so the
+    parser can match them directly.
+    """
+
+    # literals / names
+    IDENT = "identifier"
+    INTLIT = "integer literal"
+    FLOATLIT = "float literal"
+
+    # keywords
+    PROGRAM = "program"
+    CONFIG = "config"
+    REGION = "region"
+    DIRECTION = "direction"
+    VAR = "var"
+    PROCEDURE = "procedure"
+    BEGIN = "begin"
+    END = "end"
+    FOR = "for"
+    TO = "to"
+    BY = "by"
+    DO = "do"
+    REPEAT = "repeat"
+    UNTIL = "until"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    ELSIF = "elsif"
+    DOUBLE = "double"
+    INTEGER = "integer"
+    BOOLEAN = "boolean"
+    TRUE = "true"
+    FALSE = "false"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+
+    # punctuation / operators
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    ASSIGN = ":="
+    WRAPAT = "@@"
+    DOTDOT = ".."
+    AT = "@"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    CARET = "^"
+    REDUCE = "<<"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    EOF = "end of input"
+
+
+KEYWORDS = {
+    "program": TokenKind.PROGRAM,
+    "config": TokenKind.CONFIG,
+    "region": TokenKind.REGION,
+    "direction": TokenKind.DIRECTION,
+    "var": TokenKind.VAR,
+    "procedure": TokenKind.PROCEDURE,
+    "begin": TokenKind.BEGIN,
+    "end": TokenKind.END,
+    "for": TokenKind.FOR,
+    "to": TokenKind.TO,
+    "by": TokenKind.BY,
+    "do": TokenKind.DO,
+    "repeat": TokenKind.REPEAT,
+    "until": TokenKind.UNTIL,
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "elsif": TokenKind.ELSIF,
+    "double": TokenKind.DOUBLE,
+    "integer": TokenKind.INTEGER,
+    "boolean": TokenKind.BOOLEAN,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme.
+
+    ``value`` holds the identifier text for IDENT, the parsed numeric value
+    for INTLIT/FLOATLIT, and the lexeme text otherwise.
+    """
+
+    kind: TokenKind
+    value: Union[str, int, float]
+    location: SourceLocation
+
+    def __str__(self) -> str:
+        if self.kind in (TokenKind.IDENT, TokenKind.INTLIT, TokenKind.FLOATLIT):
+            return f"{self.kind.name}({self.value})"
+        return self.kind.value

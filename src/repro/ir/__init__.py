@@ -1,0 +1,43 @@
+"""The SPMD intermediate representation.
+
+Lowering (:mod:`repro.ir.build`) turns a checked AST into a tree of IR
+nodes in which:
+
+* every array statement carries its resolved :class:`~repro.lang.Region`
+  scope and resolved :class:`~repro.lang.Direction` objects — no symbol
+  table is needed downstream;
+* procedure calls are inlined (ZL procedures take no arguments, so
+  inlining is pure splicing);
+* consecutive simple statements are grouped into :class:`~repro.ir.nodes.Block`
+  nodes — the *source-level basic blocks* that bound the communication
+  optimizer's scope, exactly as in the paper;
+* no communication exists yet.  Communication is introduced by
+  :mod:`repro.comm.generation` and manipulated by the optimization passes
+  as explicit IRONMAN call statements inside blocks.
+"""
+
+from repro.ir.build import lower
+from repro.ir.nodes import (
+    ArrayAssign,
+    Block,
+    CommCall,
+    ForLoop,
+    IfStmt,
+    IRProgram,
+    RepeatLoop,
+    ScalarAssign,
+)
+from repro.ir.printer import emit_c
+
+__all__ = [
+    "lower",
+    "IRProgram",
+    "Block",
+    "ArrayAssign",
+    "ScalarAssign",
+    "CommCall",
+    "ForLoop",
+    "RepeatLoop",
+    "IfStmt",
+    "emit_c",
+]

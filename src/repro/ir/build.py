@@ -1,0 +1,260 @@
+"""Lowering: checked AST -> SPMD IR.
+
+The lowering pass:
+
+* resolves every name against the symbol table (regions, directions,
+  arrays, scalars, configs, loop variables) so IR nodes are
+  self-contained;
+* flattens region scopes onto individual array statements (region scope
+  is a per-statement attribute, *not* control flow — a scope boundary
+  does not end a basic block);
+* inlines procedure calls (ZL procedures are parameterless, so inlining
+  is body splicing; semantic analysis already rejected recursion);
+* groups maximal runs of simple statements into :class:`~repro.ir.nodes.Block`
+  basic blocks, with ``for``/``repeat``/``if`` as block boundaries.
+
+No communication is generated here; see :mod:`repro.comm.generation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import LoweringError
+from repro.frontend import ast
+from repro.frontend.semantic import INDEX_BUILTINS, ProgramInfo
+from repro.frontend.symbols import ArraySymbol, ConfigSymbol, ScalarSymbol
+from repro.ir import nodes as ir
+from repro.lang.regions import Region
+
+
+class _Lowerer:
+    def __init__(self, info: ProgramInfo) -> None:
+        self.info = info
+        self.symbols = info.symbols
+        self._region_stack: List[Region] = []
+        self._loop_vars: List[str] = []
+        # output state: finished statements plus the open basic block
+        self._out: List[ir.IRStmt] = []
+        self._current: List[ir.SimpleStmt] = []
+
+    # -- block accumulation ------------------------------------------------
+    def _emit_simple(self, stmt: ir.SimpleStmt) -> None:
+        self._current.append(stmt)
+
+    def _flush(self) -> None:
+        if self._current:
+            self._out.append(ir.Block(self._current))
+            self._current = []
+
+    def _emit_structured(self, stmt: ir.IRStmt) -> None:
+        self._flush()
+        self._out.append(stmt)
+
+    def _capture_body(self, stmts: List[ast.Stmt]) -> List[ir.IRStmt]:
+        """Lower ``stmts`` into a fresh statement list (used for loop and
+        branch bodies)."""
+        saved_out, saved_current = self._out, self._current
+        self._out, self._current = [], []
+        try:
+            self._lower_stmts(stmts)
+            self._flush()
+            return self._out
+        finally:
+            self._out, self._current = saved_out, saved_current
+
+    # -- entry ----------------------------------------------------------------
+    def run(self) -> ir.IRProgram:
+        main = self.info.program.procedures[self.info.program.main]
+        self._lower_stmts(main.body)
+        self._flush()
+        arrays = {
+            name: (sym.region, self.info.fluff_widths[name])
+            for name, sym in self.symbols.arrays.items()
+        }
+        return ir.IRProgram(
+            name=self.info.name,
+            body=self._out,
+            arrays=arrays,
+            scalars=sorted(self.symbols.scalars),
+            config_values=dict(self.info.config_values),
+        )
+
+    # -- statements --------------------------------------------------------------
+    def _lower_stmts(self, stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.RegionScope):
+            if stmt.region:
+                self._region_stack.append(
+                    self.symbols.regions[stmt.region].region
+                )
+                try:
+                    self._lower_stmts(stmt.body)
+                finally:
+                    self._region_stack.pop()
+            else:
+                self._lower_stmts(stmt.body)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.CallStmt):
+            proc = self.info.program.procedures[stmt.proc]
+            # inline: splice the body in the current context (the callee
+            # sees the caller's region scope, as in ZPL's dynamic scoping).
+            # A call site is control flow at the source level, so it bounds
+            # the basic blocks on both sides — the communication optimizer
+            # never reaches across a procedure boundary, exactly as in the
+            # paper's compiler.
+            self._flush()
+            self._lower_stmts(proc.body)
+            self._flush()
+        elif isinstance(stmt, ast.For):
+            body = self._with_loop_var(stmt.var, stmt.body)
+            self._emit_structured(
+                ir.ForLoop(
+                    var=stmt.var,
+                    low=self._lower_scalar(stmt.low),
+                    high=self._lower_scalar(stmt.high),
+                    step=(
+                        self._lower_scalar(stmt.step)
+                        if stmt.step is not None
+                        else None
+                    ),
+                    body=body,
+                )
+            )
+        elif isinstance(stmt, ast.Repeat):
+            body = self._capture_body(stmt.body)
+            self._emit_structured(
+                ir.RepeatLoop(body=body, cond=self._lower_scalar(stmt.cond))
+            )
+        elif isinstance(stmt, ast.If):
+            arms = [
+                (self._lower_scalar(cond), self._capture_body(body))
+                for cond, body in stmt.arms
+            ]
+            orelse = self._capture_body(stmt.orelse)
+            self._emit_structured(ir.IfStmt(arms=arms, orelse=orelse))
+        else:  # pragma: no cover - semantic analysis rejects everything else
+            raise LoweringError(f"cannot lower statement {stmt!r}")
+
+    def _with_loop_var(self, var: str, body: List[ast.Stmt]) -> List[ir.IRStmt]:
+        self._loop_vars.append(var)
+        try:
+            return self._capture_body(body)
+        finally:
+            self._loop_vars.pop()
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        target = self.symbols.lookup_any(stmt.target)
+        if isinstance(target, ArraySymbol):
+            if not self._region_stack:  # pragma: no cover - checked earlier
+                raise LoweringError(
+                    f"array statement for {stmt.target!r} has no region scope"
+                )
+            region = self._region_stack[-1]
+            self._emit_simple(
+                ir.ArrayAssign(
+                    region=region,
+                    target=stmt.target,
+                    expr=self._lower_parallel(stmt.value),
+                )
+            )
+        elif isinstance(target, ScalarSymbol):
+            self._emit_simple(
+                ir.ScalarAssign(
+                    target=stmt.target, expr=self._lower_scalar(stmt.value)
+                )
+            )
+        else:  # pragma: no cover - checked earlier
+            raise LoweringError(f"bad assignment target {stmt.target!r}")
+
+    # -- expressions -----------------------------------------------------------
+    def _lower_parallel(self, expr: ast.Expr) -> ir.IRExpr:
+        if isinstance(expr, ast.IntLit):
+            return ir.IRConst(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return ir.IRConst(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return ir.IRConst(expr.value)
+        if isinstance(expr, ast.NameRef):
+            return self._lower_name(expr)
+        if isinstance(expr, ast.ShiftRef):
+            return ir.IRArrayRead(
+                expr.array,
+                self.symbols.directions[expr.direction].direction,
+                wrap=expr.wrap,
+            )
+        if isinstance(expr, ast.BinOp):
+            return ir.IRBin(
+                expr.op,
+                self._lower_parallel(expr.lhs),
+                self._lower_parallel(expr.rhs),
+            )
+        if isinstance(expr, ast.UnOp):
+            return ir.IRUn(expr.op, self._lower_parallel(expr.operand))
+        if isinstance(expr, ast.Call):
+            func = "abs" if expr.func == "fabs" else expr.func
+            return ir.IRIntrinsic(
+                func, [self._lower_parallel(a) for a in expr.args]
+            )
+        raise LoweringError(f"cannot lower parallel expression {expr!r}")
+
+    def _lower_scalar(self, expr: ast.Expr) -> ir.IRExpr:
+        if isinstance(expr, ast.Reduce):
+            if not self._region_stack:  # pragma: no cover - checked earlier
+                raise LoweringError("reduction outside any region scope")
+            return ir.IRReduce(
+                expr.op,
+                self._lower_parallel(expr.operand),
+                self._region_stack[-1],
+            )
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+            return ir.IRConst(expr.value)
+        if isinstance(expr, ast.NameRef):
+            lowered = self._lower_name(expr)
+            if not isinstance(lowered, ir.IRScalarRead):  # pragma: no cover
+                raise LoweringError(
+                    f"array {expr.name!r} in scalar context escaped checking"
+                )
+            return lowered
+        if isinstance(expr, ast.BinOp):
+            return ir.IRBin(
+                expr.op,
+                self._lower_scalar(expr.lhs),
+                self._lower_scalar(expr.rhs),
+            )
+        if isinstance(expr, ast.UnOp):
+            return ir.IRUn(expr.op, self._lower_scalar(expr.operand))
+        if isinstance(expr, ast.Call):
+            func = "abs" if expr.func == "fabs" else expr.func
+            return ir.IRIntrinsic(
+                func, [self._lower_scalar(a) for a in expr.args]
+            )
+        raise LoweringError(f"cannot lower scalar expression {expr!r}")
+
+    def _lower_name(self, expr: ast.NameRef) -> ir.IRExpr:
+        name = expr.name
+        if name in INDEX_BUILTINS:
+            return ir.IRIndex(INDEX_BUILTINS[name])
+        if name in self._loop_vars:
+            return ir.IRScalarRead(name)
+        sym = self.symbols.lookup_any(name)
+        if isinstance(sym, ArraySymbol):
+            return ir.IRArrayRead(name, None)
+        if isinstance(sym, (ScalarSymbol, ConfigSymbol)):
+            return ir.IRScalarRead(name)
+        raise LoweringError(f"cannot lower name {name!r}")  # pragma: no cover
+
+
+def lower(info: ProgramInfo) -> ir.IRProgram:
+    """Lower a checked program to SPMD IR (communication-free).
+
+    Parameters
+    ----------
+    info:
+        The result of :func:`repro.frontend.analyze`.
+    """
+    return _Lowerer(info).run()

@@ -1,0 +1,209 @@
+"""Pseudo-C emission for lowered (and optimized) programs.
+
+The ZPL compiler emitted SPMD ANSI C; array statements become loop nests
+only *after* communication generation, which is why the paper's Figure 7
+reports benchmark sizes as "final output C code, excluding communication"
+line counts.  This printer reproduces that view: it renders the IR as
+C-like text with each array statement expanded to a loop nest over its
+region and each IRONMAN call as a single line, and it can count lines
+including or excluding communication.
+
+The output is documentation/diagnostics — the runtime executes the IR
+directly — but the printer is also the ground truth for *static*
+communication counts being visible in program text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir import nodes as ir
+
+_INDENT = "  "
+
+
+@dataclass
+class EmittedProgram:
+    """Pseudo-C text plus line accounting."""
+
+    text: str
+    total_lines: int
+    comm_lines: int
+
+    @property
+    def lines_excluding_comm(self) -> int:
+        """The paper's Figure 7 metric."""
+        return self.total_lines - self.comm_lines
+
+
+class _Emitter:
+    def __init__(self, program: ir.IRProgram) -> None:
+        self.program = program
+        self.lines: List[str] = []
+        self.comm_line_count = 0
+        self.depth = 0
+        self._loop_counter = 0
+
+    def _put(self, text: str, is_comm: bool = False) -> None:
+        self.lines.append(f"{_INDENT * self.depth}{text}")
+        if is_comm:
+            self.comm_line_count += 1
+
+    # -- program ----------------------------------------------------------
+    def run(self) -> EmittedProgram:
+        p = self.program
+        self._put(f"/* program {p.name} -- SPMD ANSI C (pseudo) */")
+        self._put("#include \"ironman.h\"")
+        self._put("#include \"zl_runtime.h\"")
+        self._put("")
+        for name, (region, fluff) in sorted(p.arrays.items()):
+            dims = "".join(
+                f"[{hi - lo + 1 + 2 * f}]"
+                for (lo, hi), f in zip(region.bounds(), fluff)
+            )
+            self._put(f"static double {name}{dims};  /* over {region} */")
+        for name in p.scalars:
+            self._put(f"static double {name};")
+        self._put("")
+        self._put("void zl_main(void) {")
+        self.depth += 1
+        self._emit_body(p.body)
+        self.depth -= 1
+        self._put("}")
+        text = "\n".join(self.lines) + "\n"
+        return EmittedProgram(
+            text=text,
+            total_lines=len(self.lines),
+            comm_lines=self.comm_line_count,
+        )
+
+    # -- statements --------------------------------------------------------
+    def _emit_body(self, body: List[ir.IRStmt]) -> None:
+        for stmt in body:
+            self._emit_stmt(stmt)
+
+    def _emit_stmt(self, stmt: ir.IRStmt) -> None:
+        if isinstance(stmt, ir.Block):
+            for s in stmt.stmts:
+                self._emit_simple(s)
+        elif isinstance(stmt, ir.ForLoop):
+            lo = emit_expr(stmt.low)
+            hi = emit_expr(stmt.high)
+            step = emit_expr(stmt.step) if stmt.step is not None else "1"
+            self._put(
+                f"for ({stmt.var} = {lo}; {stmt.var} <= {hi}; "
+                f"{stmt.var} += {step}) {{"
+            )
+            self.depth += 1
+            self._emit_body(stmt.body)
+            self.depth -= 1
+            self._put("}")
+        elif isinstance(stmt, ir.RepeatLoop):
+            self._put("do {")
+            self.depth += 1
+            self._emit_body(stmt.body)
+            self.depth -= 1
+            self._put(f"}} while (!({emit_expr(stmt.cond)}));")
+        elif isinstance(stmt, ir.IfStmt):
+            first = True
+            for cond, body in stmt.arms:
+                kw = "if" if first else "} else if"
+                self._put(f"{kw} ({emit_expr(cond)}) {{")
+                self.depth += 1
+                self._emit_body(body)
+                self.depth -= 1
+                first = False
+            if stmt.orelse:
+                self._put("} else {")
+                self.depth += 1
+                self._emit_body(stmt.orelse)
+                self.depth -= 1
+            self._put("}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot emit {stmt!r}")
+
+    def _emit_simple(self, stmt: ir.SimpleStmt) -> None:
+        if isinstance(stmt, ir.CommCall):
+            args = ", ".join(stmt.desc.arrays)
+            self._put(
+                f"{stmt.kind.name}({args}, {stmt.desc.direction.name});"
+                f"  /* comm #{stmt.desc.id} */",
+                is_comm=True,
+            )
+        elif isinstance(stmt, ir.ArrayAssign):
+            self._emit_array_assign(stmt)
+        elif isinstance(stmt, ir.ScalarAssign):
+            self._put(f"{stmt.target} = {emit_expr(stmt.expr)};")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot emit {stmt!r}")
+
+    def _emit_array_assign(self, stmt: ir.ArrayAssign) -> None:
+        rank = stmt.region.rank
+        self._loop_counter += 1
+        idx = [f"_i{d + 1}" for d in range(rank)]
+        self._put(f"/* [{stmt.region.name}] {stmt.target} := ... */")
+        for d, (lo, hi) in enumerate(stmt.region.bounds()):
+            v = idx[d]
+            self._put(f"for ({v} = {lo}; {v} <= {hi}; {v}++) {{")
+            self.depth += 1
+        subscript = "".join(f"[{v}]" for v in idx)
+        self._put(f"{stmt.target}{subscript} = {emit_expr(stmt.expr, idx)};")
+        for _ in range(rank):
+            self.depth -= 1
+            self._put("}")
+
+
+def emit_expr(expr: ir.IRExpr, idx: List[str] | None = None) -> str:
+    """Render an IR expression as C-like text.
+
+    ``idx`` names the loop indices of the enclosing array-statement nest
+    (None in scalar context)."""
+    if isinstance(expr, ir.IRConst):
+        if isinstance(expr.value, bool):
+            return "1" if expr.value else "0"
+        if isinstance(expr.value, float):
+            return repr(expr.value)
+        return str(expr.value)
+    if isinstance(expr, ir.IRScalarRead):
+        return expr.name
+    if isinstance(expr, ir.IRIndex):
+        if idx is None:
+            return f"index{expr.dim}"
+        return idx[expr.dim - 1]
+    if isinstance(expr, ir.IRArrayRead):
+        if idx is None:
+            return expr.array
+        offsets = (
+            expr.direction.offsets if expr.direction is not None else (0,) * len(idx)
+        )
+        parts = []
+        for v, off in zip(idx, offsets):
+            if off == 0:
+                sub = v
+            elif off > 0:
+                sub = f"{v}+{off}"
+            else:
+                sub = f"{v}{off}"
+            if expr.wrap and off != 0:
+                sub = f"ZL_WRAP({sub})"
+            parts.append(f"[{sub}]")
+        return f"{expr.array}{''.join(parts)}"
+    if isinstance(expr, ir.IRBin):
+        op = {"and": "&&", "or": "||", "=": "==", "^": "**"}.get(expr.op, expr.op)
+        return f"({emit_expr(expr.lhs, idx)} {op} {emit_expr(expr.rhs, idx)})"
+    if isinstance(expr, ir.IRUn):
+        op = "!" if expr.op == "not" else expr.op
+        return f"({op}{emit_expr(expr.operand, idx)})"
+    if isinstance(expr, ir.IRIntrinsic):
+        args = ", ".join(emit_expr(a, idx) for a in expr.args)
+        func = {"abs": "fabs", "ln": "log"}.get(expr.func, expr.func)
+        return f"{func}({args})"
+    if isinstance(expr, ir.IRReduce):
+        return f"ZL_REDUCE_{expr.op.upper() if expr.op.isalpha() else 'SUM'}({emit_expr(expr.operand, idx)})"
+    raise TypeError(f"cannot emit expression {expr!r}")  # pragma: no cover
+
+
+def emit_c(program: ir.IRProgram) -> EmittedProgram:
+    """Render a lowered program as pseudo-C with line accounting."""
+    return _Emitter(program).run()

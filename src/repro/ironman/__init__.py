@@ -1,0 +1,22 @@
+"""The IRONMAN architecture-independent communication interface.
+
+IRONMAN (Chamberlain, Choi & Snyder 1996) expresses a single data transfer
+as four library calls that *demarcate program states* rather than naming a
+mechanism:
+
+* ``DR`` — destination ready to receive the transmission;
+* ``SR`` — source ready for transmission;
+* ``DN`` — transmitted data needed at the destination;
+* ``SV`` — transmission must be completed at the source, since the source
+  data may become volatile (be overwritten).
+
+At link time — here, at machine-construction time — each call is bound to
+a concrete primitive of the target library or to a no-op.  The bindings
+used in the paper (its Figure 5) are reproduced by
+:func:`~repro.ironman.bindings.binding_for`.
+"""
+
+from repro.ironman.calls import CallKind
+from repro.ironman.bindings import Binding, BindingTable, binding_for, BINDINGS
+
+__all__ = ["CallKind", "Binding", "BindingTable", "binding_for", "BINDINGS"]

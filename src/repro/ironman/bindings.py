@@ -1,0 +1,97 @@
+"""IRONMAN bindings per communication library (the paper's Figure 5).
+
+A :class:`Binding` maps each of the four IRONMAN calls to a named
+primitive of the underlying library (or to ``noop``).  The machine layer
+(:mod:`repro.machine.primitives`) assigns cost semantics to the primitive
+names; this module is pure naming, mirroring the link-time mapping the
+paper describes.
+
+===================  ========  ========  ==========  =========  ===========
+call                 NX        NX async  NX callback  T3D PVM    T3D SHMEM
+===================  ========  ========  ==========  =========  ===========
+DR (dest ready)      no-op     irecv     hprobe       no-op      synch
+SR (source ready)    csend     isend     hsend        pvm_send   shmem_put
+DN (dest needed)     crecv     msgwait   hrecv        pvm_recv   synch
+SV (source volatile) no-op     msgwait   msgwait      no-op      no-op
+===================  ========  ========  ==========  =========  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import MachineError
+from repro.ironman.calls import CallKind
+
+#: Name used for calls that compile away entirely.
+NOOP = "noop"
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Binding of the four IRONMAN calls for one library."""
+
+    library: str
+    dr: str
+    sr: str
+    dn: str
+    sv: str
+
+    def primitive(self, kind: CallKind) -> str:
+        """The primitive name bound to ``kind``."""
+        return {
+            CallKind.DR: self.dr,
+            CallKind.SR: self.sr,
+            CallKind.DN: self.dn,
+            CallKind.SV: self.sv,
+        }[kind]
+
+    def as_rows(self) -> Tuple[Tuple[str, str], ...]:
+        """(call, primitive) rows in canonical order — used to print the
+        paper's Figure 5."""
+        return (
+            ("DR", self.dr),
+            ("SR", self.sr),
+            ("DN", self.dn),
+            ("SV", self.sv),
+        )
+
+
+#: Library name -> binding, following the paper's Figure 5 exactly.
+BINDINGS: Dict[str, Binding] = {
+    # Intel Paragon, NX message passing (csend/crecv)
+    "nx": Binding("nx", dr=NOOP, sr="csend", dn="crecv", sv=NOOP),
+    # Intel Paragon, NX asynchronous (co-processor) primitives
+    "nx_async": Binding("nx_async", dr="irecv", sr="isend", dn="msgwait", sv="msgwait"),
+    # Intel Paragon, NX callback (handler) primitives
+    "nx_callback": Binding(
+        "nx_callback", dr="hprobe", sr="hsend", dn="hrecv", sv="msgwait"
+    ),
+    # Cray T3D, vendor-optimized PVM message passing
+    "pvm": Binding("pvm", dr=NOOP, sr="pvm_send", dn="pvm_recv", sv=NOOP),
+    # Cray T3D, SHMEM one-way communication.  The prototype IRONMAN
+    # implementation the paper evaluates uses heavyweight synchronization
+    # for DR and DN.
+    "shmem": Binding("shmem", dr="synch", sr="shmem_put", dn="synch", sv=NOOP),
+}
+
+#: The wire format of BindingTable is just the mapping itself.
+BindingTable = Dict[str, Binding]
+
+
+def binding_for(library: str) -> Binding:
+    """Look up the binding for a library name.
+
+    Raises
+    ------
+    MachineError
+        For unknown library names; the message lists the valid ones.
+    """
+    try:
+        return BINDINGS[library]
+    except KeyError:
+        valid = ", ".join(sorted(BINDINGS))
+        raise MachineError(
+            f"unknown communication library {library!r} (valid: {valid})"
+        ) from None

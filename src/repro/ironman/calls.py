@@ -1,0 +1,43 @@
+"""The four IRONMAN call kinds."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CallKind(enum.Enum):
+    """One of the four IRONMAN calls demarcating a data transfer.
+
+    The names abbreviate the program state at the call site:
+
+    ``DR``
+        *Destination Ready*: from here on the destination buffer (the
+        fluff region) may be written by the transfer.
+    ``SR``
+        *Source Ready*: the source data is in its final state; the
+        transfer may read (and ship) it from here on.
+    ``DN``
+        *Destination Needed*: the destination is about to use the data;
+        the transfer must be complete past this point.
+    ``SV``
+        *Source Volatile*: the source is about to overwrite its buffer;
+        the transfer must have finished reading it past this point.
+    """
+
+    DR = "destination ready"
+    SR = "source ready"
+    DN = "destination needed"
+    SV = "source volatile"
+
+    @property
+    def is_source_side(self) -> bool:
+        """True for the calls executed on behalf of the sending role."""
+        return self in (CallKind.SR, CallKind.SV)
+
+    @property
+    def is_destination_side(self) -> bool:
+        return self in (CallKind.DR, CallKind.DN)
+
+
+#: Canonical order of the calls for one transfer in naive generated code.
+NAIVE_ORDER = (CallKind.DR, CallKind.SR, CallKind.DN, CallKind.SV)

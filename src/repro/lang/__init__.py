@@ -1,0 +1,26 @@
+"""Language-level objects shared by the front end, IR, and runtime.
+
+The ZL language (our ZPL-like array sublanguage) is built around three
+value-level concepts that exist both at compile time and at run time:
+
+* :class:`~repro.lang.regions.Region` — a dense rectangular index set, the
+  domain over which whole-array statements execute;
+* :class:`~repro.lang.regions.Direction` — a constant integer offset vector,
+  the right operand of the ``@`` shift operator;
+* scalar types (:mod:`repro.lang.types`).
+
+These are deliberately independent of the compiler so the runtime and the
+machine simulator can use them without importing front-end modules.
+"""
+
+from repro.lang.regions import Direction, Region
+from repro.lang.types import BOOLEAN, DOUBLE, INTEGER, ScalarType
+
+__all__ = [
+    "Region",
+    "Direction",
+    "ScalarType",
+    "DOUBLE",
+    "INTEGER",
+    "BOOLEAN",
+]

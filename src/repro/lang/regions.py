@@ -1,0 +1,214 @@
+"""Regions and directions — the index-set algebra of ZL.
+
+A *region* is a dense, rectangular set of integer index vectors, written in
+ZL source as ``region R = [1..n, 1..n];``.  Bounds are inclusive on both
+ends, following ZPL convention.  Regions name the domain of arrays and the
+index set over which whole-array statements execute.
+
+A *direction* is a small constant integer offset vector, written
+``direction east = [0, 1];``.  Directions are the right operand of the
+``@`` shift operator: over region ``R``, the expression ``A@east`` denotes,
+for each index ``(i, j)`` in ``R``, the element ``A[i, j+1]``.
+
+Both objects are immutable value types.  The region algebra implemented
+here (shift, intersection, containment) is exactly what the compiler needs
+to decide *where communication is required* and what the runtime needs to
+compute per-processor block intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Direction:
+    """A constant offset vector, e.g. ``east = (0, 1)``.
+
+    Attributes
+    ----------
+    name:
+        Source-level name.  Two directions with different names but the
+        same offsets are interchangeable for communication purposes; the
+        compiler keys communication on :attr:`offsets`, not on the name.
+    offsets:
+        The per-dimension integer offsets.
+    """
+
+    name: str
+    offsets: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offsets", tuple(int(o) for o in self.offsets))
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions of the offset vector."""
+        return len(self.offsets)
+
+    @property
+    def is_zero(self) -> bool:
+        """True if the direction does not move at all (no communication)."""
+        return all(o == 0 for o in self.offsets)
+
+    def negated(self) -> "Direction":
+        """The opposite direction (used to find the send partner: a
+        processor *receives* its fluff from the neighbour in direction
+        ``d`` and *sends* its own boundary to the neighbour in ``-d``)."""
+        return Direction(f"-{self.name}", tuple(-o for o in self.offsets))
+
+    def sign(self) -> Tuple[int, ...]:
+        """Unit-magnitude version of the offsets; identifies the grid
+        neighbour involved in the transfer."""
+        return tuple((o > 0) - (o < 0) for o in self.offsets)
+
+    def __str__(self) -> str:
+        return f"{self.name}{list(self.offsets)}"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A dense rectangular index set with inclusive bounds.
+
+    Attributes
+    ----------
+    name:
+        Source-level name (synthesized regions use generated names).
+    lows / highs:
+        Per-dimension inclusive lower/upper bounds.  An empty region is
+        represented by any dimension with ``high < low``.
+    """
+
+    name: str
+    lows: Tuple[int, ...]
+    highs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lows", tuple(int(v) for v in self.lows))
+        object.__setattr__(self, "highs", tuple(int(v) for v in self.highs))
+        if len(self.lows) != len(self.highs):
+            raise ValueError(
+                f"region {self.name!r}: rank mismatch between lows "
+                f"{self.lows} and highs {self.highs}"
+            )
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.lows)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Extent in each dimension (zero-clamped)."""
+        return tuple(max(0, h - l + 1) for l, h in zip(self.lows, self.highs))
+
+    @property
+    def size(self) -> int:
+        """Total number of index vectors in the region."""
+        n = 1
+        for e in self.shape:
+            n *= e
+        return n
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def bounds(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(low, high)`` pairs per dimension."""
+        return iter(zip(self.lows, self.highs))
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def shifted(self, direction: Direction) -> "Region":
+        """The image of this region under the direction's offset: the set
+        of indices actually *read* by ``A@d`` executed over this region."""
+        self._check_rank(direction.rank, "shift")
+        return Region(
+            f"{self.name}@{direction.name}",
+            tuple(l + o for l, o in zip(self.lows, direction.offsets)),
+            tuple(h + o for h, o in zip(self.highs, direction.offsets)),
+        )
+
+    def intersect(self, other: "Region") -> "Region":
+        """Largest region contained in both operands (possibly empty)."""
+        self._check_rank(other.rank, "intersect")
+        return Region(
+            f"({self.name}^{other.name})",
+            tuple(max(a, b) for a, b in zip(self.lows, other.lows)),
+            tuple(min(a, b) for a, b in zip(self.highs, other.highs)),
+        )
+
+    def contains(self, other: "Region") -> bool:
+        """True if every index of ``other`` is in ``self``.  An empty
+        ``other`` is contained in anything."""
+        self._check_rank(other.rank, "contains")
+        if other.is_empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.lows, other.lows, other.highs, self.highs)
+        )
+
+    def contains_index(self, index: Sequence[int]) -> bool:
+        """True if the single index vector lies in the region."""
+        self._check_rank(len(index), "contains_index")
+        return all(l <= i <= h for l, i, h in zip(self.lows, index, self.highs))
+
+    def expanded(self, width: int) -> "Region":
+        """Region grown by ``width`` on every face (used for fluff
+        allocation)."""
+        return Region(
+            f"{self.name}+{width}",
+            tuple(l - width for l in self.lows),
+            tuple(h + width for h in self.highs),
+        )
+
+    # ------------------------------------------------------------------
+    # conversion helpers used by the runtime
+    # ------------------------------------------------------------------
+    def slices_within(self, origin: Sequence[int]) -> Tuple[slice, ...]:
+        """NumPy slices selecting this region inside a buffer whose element
+        ``[0, 0, ...]`` corresponds to global index ``origin``.
+
+        The caller is responsible for ensuring the buffer is large enough;
+        the runtime validates this with explicit fluff-width checks.
+        """
+        self._check_rank(len(origin), "slices_within")
+        return tuple(
+            slice(l - o, h - o + 1) for l, h, o in zip(self.lows, self.highs, origin)
+        )
+
+    def _check_rank(self, other_rank: int, op: str) -> None:
+        if other_rank != self.rank:
+            raise ValueError(
+                f"rank mismatch in {op}: region {self.name!r} has rank "
+                f"{self.rank}, operand has rank {other_rank}"
+            )
+
+    def __str__(self) -> str:
+        dims = ", ".join(f"{l}..{h}" for l, h in self.bounds())
+        return f"[{dims}]"
+
+
+def bounding_region(name: str, regions: Sequence[Region]) -> Optional[Region]:
+    """Smallest region containing all of ``regions`` (None for empty input).
+
+    Used by the compiler to size combined-message buffers and by layout
+    code to derive the global problem extent.
+    """
+    regions = [r for r in regions if not r.is_empty]
+    if not regions:
+        return None
+    rank = regions[0].rank
+    for r in regions:
+        if r.rank != rank:
+            raise ValueError("bounding_region: mixed ranks")
+    lows = tuple(min(r.lows[d] for r in regions) for d in range(rank))
+    highs = tuple(max(r.highs[d] for r in regions) for d in range(rank))
+    return Region(name, lows, highs)

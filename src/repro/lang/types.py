@@ -1,0 +1,76 @@
+"""Scalar types of the ZL language.
+
+ZL has three scalar types: ``double`` (IEEE 754 binary64), ``integer``
+(a 64-bit signed integer; used for config constants and loop variables),
+and ``boolean``.  Arrays always hold doubles in the benchmark programs,
+but the type system permits integer arrays as well.
+
+The types are represented as interned :class:`ScalarType` instances so that
+identity comparison works (``t is DOUBLE``) and so they can carry their
+NumPy dtype and per-element size for the runtime and the communication
+cost model (the paper measures message sizes in doubles; 1 double = 8
+bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """An interned ZL scalar type.
+
+    Attributes
+    ----------
+    name:
+        The keyword naming the type in ZL source (``"double"``, ...).
+    dtype:
+        The NumPy dtype used by the runtime for values of this type.
+    size_bytes:
+        Per-element size in bytes; the unit used by the communication cost
+        model when converting element counts to message sizes.
+    """
+
+    name: str
+    dtype: np.dtype
+    size_bytes: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types that participate in arithmetic."""
+        return self.name in ("double", "integer")
+
+
+DOUBLE = ScalarType("double", np.dtype(np.float64), 8)
+INTEGER = ScalarType("integer", np.dtype(np.int64), 8)
+BOOLEAN = ScalarType("boolean", np.dtype(np.bool_), 1)
+
+_BY_NAME = {t.name: t for t in (DOUBLE, INTEGER, BOOLEAN)}
+
+
+def type_by_name(name: str) -> ScalarType:
+    """Look up a scalar type by its ZL keyword.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a ZL type keyword.
+    """
+    return _BY_NAME[name]
+
+
+def join(a: ScalarType, b: ScalarType) -> ScalarType:
+    """Type of a binary arithmetic expression over operands of types
+    ``a`` and ``b`` (the usual numeric promotion: integer op double is
+    double)."""
+    if not (a.is_numeric and b.is_numeric):
+        raise TypeError(f"no arithmetic join for {a} and {b}")
+    if a is DOUBLE or b is DOUBLE:
+        return DOUBLE
+    return INTEGER

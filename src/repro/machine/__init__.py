@@ -1,0 +1,42 @@
+"""Simulated parallel machines.
+
+The paper runs on an Intel Paragon and a Cray T3D; neither exists here,
+so this package provides cost-model machines that preserve the properties
+the paper's results depend on:
+
+* per-primitive *software overhead* as a function of message size, flat up
+  to a knee (~4 KB = 512 doubles) and rising linearly past it (Figure 6);
+* NX asynchronous primitives on the Paragon that are no cheaper
+  (isend/irecv) or more expensive (hsend/hrecv) than csend/crecv;
+* T3D SHMEM ``shmem_put`` with ~10% less software overhead than PVM
+  send/receive, but bound to a heavyweight pairwise ``synch`` for DR/DN
+  (the paper's prototype limitation);
+* a network with latency and bandwidth, so pipelined transfers overlap
+  with computation;
+* a compute rate, so statement execution costs scale with local block
+  size.
+
+:func:`~repro.machine.factories.paragon` and
+:func:`~repro.machine.factories.t3d` build the two machines of the
+paper's Figure 3.
+"""
+
+from repro.machine.params import (
+    ComputeParams,
+    Machine,
+    NetworkParams,
+    PrimitiveCost,
+    ReductionParams,
+)
+from repro.machine.factories import paragon, t3d, machine_by_name
+
+__all__ = [
+    "Machine",
+    "PrimitiveCost",
+    "NetworkParams",
+    "ComputeParams",
+    "ReductionParams",
+    "paragon",
+    "t3d",
+    "machine_by_name",
+]

@@ -1,0 +1,28 @@
+"""Shared helpers for the bundled ZL programs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.comm import OptimizationConfig, optimize
+from repro.frontend import analyze, parse
+from repro.ir import lower
+from repro.ir.nodes import IRProgram
+
+
+def compile_source(
+    source: str,
+    name: str = "<string>",
+    config: Optional[Dict[str, float]] = None,
+    opt: Optional[OptimizationConfig] = None,
+) -> IRProgram:
+    """Parse, check, lower and (optionally) optimize a ZL source.
+
+    ``opt=None`` returns the communication-free lowered program (what the
+    sequential reference evaluator consumes); pass an
+    :class:`~repro.comm.OptimizationConfig` to generate communication.
+    """
+    program = lower(analyze(parse(source, name), config))
+    if opt is None:
+        return program
+    return optimize(program, opt)

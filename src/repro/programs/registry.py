@@ -1,0 +1,60 @@
+"""Registry mapping benchmark names to program modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.comm import OptimizationConfig
+from repro.errors import ExperimentError
+from repro.ir.nodes import IRProgram
+
+
+def _modules():
+    # local import to avoid import cycles at package load
+    from repro.programs import simple, sp, swm, tomcatv
+
+    return {
+        "tomcatv": tomcatv,
+        "swm": swm,
+        "simple": simple,
+        "sp": sp,
+    }
+
+
+#: Names of the paper's four whole-program benchmarks, in Figure 7 order.
+BENCHMARKS = ("tomcatv", "swm", "simple", "sp")
+
+
+def _module(name: str):
+    mods = _modules()
+    try:
+        return mods[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown benchmark {name!r} (valid: {', '.join(BENCHMARKS)})"
+        ) from None
+
+
+def build_benchmark(
+    name: str,
+    config: Optional[Dict[str, float]] = None,
+    opt: Optional[OptimizationConfig] = None,
+) -> IRProgram:
+    """Compile a bundled benchmark by name."""
+    return _module(name).build(config=config, opt=opt)
+
+
+def benchmark_source(name: str) -> str:
+    """The ZL source text of a bundled benchmark."""
+    return _module(name).SOURCE
+
+
+def small_config(name: str) -> Dict[str, int]:
+    """A reduced configuration suitable for tests (small mesh, few
+    iterations); every benchmark module defines one."""
+    return dict(_module(name).SMALL_CONFIG)
+
+
+def default_config(name: str) -> Dict[str, int]:
+    """The paper-scale configuration of a benchmark."""
+    return dict(_module(name).DEFAULT_CONFIG)

@@ -1,0 +1,121 @@
+"""Distributed arrays with fluff (ghost) regions.
+
+Each processor holds a local buffer covering its owned block, padded by
+the array's fluff width on each side of every *distributed* dimension.
+Non-distributed dimensions (e.g. dim 2 of a rank-3 array) span the full
+domain on every processor, so shifts along them never leave the buffer.
+
+The buffer's element ``[0, 0, ...]`` corresponds to global index
+``origin``; :meth:`LocalBlock.view` converts a global-coordinate
+:class:`~repro.lang.Region` into a NumPy view.  Fluff cells hold data
+copied from neighbours by transfers — reading fluff that was never (or
+stale-ly) filled yields wrong numerics, which is exactly how optimizer
+bugs are surfaced by the correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RuntimeFault
+from repro.lang.regions import Region
+from repro.runtime.layout import ProblemLayout
+
+
+@dataclass
+class LocalBlock:
+    """One processor's piece of one array."""
+
+    array: str
+    owned: Region  # global coordinates, possibly empty
+    origin: Tuple[int, ...]  # global index of buffer element [0,...,0]
+    data: np.ndarray
+
+    def view(self, box: Region) -> np.ndarray:
+        """NumPy view of a global-coordinate box (must lie in-buffer)."""
+        slices = []
+        for (lo, hi), org, extent in zip(
+            box.bounds(), self.origin, self.data.shape
+        ):
+            a, b = lo - org, hi - org + 1
+            if a < 0 or b > extent:
+                raise RuntimeFault(
+                    f"box {box} of array {self.array!r} escapes the local "
+                    f"buffer (origin {self.origin}, shape {self.data.shape})"
+                    " — fluff width too small?"
+                )
+            slices.append(slice(a, b))
+        return self.data[tuple(slices)]
+
+
+class DistArray:
+    """All processors' blocks of one array."""
+
+    def __init__(
+        self,
+        name: str,
+        domain: Region,
+        fluff: Tuple[int, ...],
+        layout: ProblemLayout,
+        dtype=np.float64,
+    ) -> None:
+        self.name = name
+        self.domain = domain
+        self.fluff = fluff
+        self.layout = layout
+        self.dtype = dtype
+        dist_dims = set(layout.distributed_dims(domain.rank))
+        self.blocks: Dict[int, LocalBlock] = {}
+        for proc in layout.grid.ranks():
+            owned_class = layout.owned(domain.rank, proc)
+            owned = owned_class.intersect(domain)
+            origin = []
+            shape = []
+            for d in range(domain.rank):
+                if d in dist_dims:
+                    lo, hi = owned.lows[d], owned.highs[d]
+                    pad = fluff[d]
+                    origin.append(lo - pad)
+                    shape.append(max(0, hi - lo + 1) + 2 * pad if hi >= lo else 0)
+                else:
+                    origin.append(domain.lows[d])
+                    shape.append(domain.highs[d] - domain.lows[d] + 1)
+            if owned.is_empty:
+                shape = [0] * domain.rank
+            self.blocks[proc] = LocalBlock(
+                array=name,
+                owned=owned,
+                origin=tuple(origin),
+                data=np.zeros(tuple(shape), dtype=dtype),
+            )
+
+    def block(self, proc: int) -> LocalBlock:
+        return self.blocks[proc]
+
+    def gather(self) -> np.ndarray:
+        """Assemble the global array (owned cells only) — the shape is the
+        domain's shape and the element ``[0, ...]`` is ``domain.lows``."""
+        out = np.zeros(self.domain.shape, dtype=self.dtype)
+        for block in self.blocks.values():
+            if block.owned.is_empty:
+                continue
+            sl = block.owned.slices_within(self.domain.lows)
+            out[sl] = block.view(block.owned)
+        return out
+
+    def scatter(self, values: np.ndarray) -> None:
+        """Distribute a global array into the owned cells of every block
+        (fluff left untouched) — used to set up test fixtures."""
+        if tuple(values.shape) != self.domain.shape:
+            raise RuntimeFault(
+                f"scatter shape {values.shape} != domain shape "
+                f"{self.domain.shape} for array {self.name!r}"
+            )
+        for block in self.blocks.values():
+            if block.owned.is_empty:
+                continue
+            sl = block.owned.slices_within(self.domain.lows)
+            block.view(block.owned)[...] = values[sl]

@@ -1,0 +1,343 @@
+"""The simulation driver.
+
+:func:`simulate` executes an optimized IR program on a simulated machine
+in one of two modes:
+
+``NUMERIC``
+    Full simulation: distributed array data is computed block-by-block,
+    fluff moves through the transfer plans, *and* the clock vector runs.
+    Use for correctness work (results are compared against the sequential
+    reference) and moderate problem sizes.
+
+``TIMING``
+    Metadata-only simulation: the clock vector, dynamic counts, message
+    counts and volumes are exact, but no array data is touched.  Scalar
+    control flow still executes; embedded reductions evaluate to 0.0 with
+    a recorded warning, so programs whose control flow depends on reduced
+    values should run NUMERIC (the bundled benchmarks use counted loops
+    precisely so TIMING is exact for them).
+
+Both modes execute the same statement walk; they differ only in whether
+array payloads exist.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.comm.counts import static_comm_count
+from repro.errors import RuntimeFault
+from repro.ir import nodes as ir
+from repro.ironman.calls import CallKind
+from repro.lang.regions import Region
+from repro.machine.params import Machine
+from repro.runtime.distarray import DistArray
+from repro.runtime.grid import ProcessorGrid
+from repro.runtime.instrument import Instrumentation
+from repro.runtime.interp import ParallelEvaluator, ScalarEvaluator
+from repro.runtime.layout import ProblemLayout
+from repro.runtime.timing import TimingEngine
+from repro.runtime.transfers import PlanCache, TransferPlan
+
+
+class ExecutionMode(enum.Enum):
+    NUMERIC = "numeric"
+    TIMING = "timing"
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation run produced."""
+
+    program_name: str
+    machine_name: str
+    library: str
+    nprocs: int
+    mode: ExecutionMode
+    #: simulated execution time (the last rank to finish), in model seconds
+    time: float
+    clocks: np.ndarray
+    #: the paper's dynamic communication count (per-processor maximum)
+    dynamic_comm_count: int
+    dynamic_comms: np.ndarray
+    static_comm_count: int
+    instrument: Instrumentation
+    scalars: Dict[str, float]
+    arrays: Optional[Dict[str, DistArray]] = field(default=None, repr=False)
+    #: event timeline of the traced rank (None unless trace_rank was set)
+    trace: Optional[list] = field(default=None, repr=False)
+    trace_rank: Optional[int] = None
+
+    def array(self, name: str) -> np.ndarray:
+        """Gathered global contents of an array (NUMERIC mode only)."""
+        if self.arrays is None:
+            raise RuntimeFault(
+                "array data is unavailable in TIMING mode; run NUMERIC"
+            )
+        return self.arrays[name].gather()
+
+    @property
+    def warnings(self) -> List[str]:
+        return self.instrument.warnings
+
+
+class _Simulation:
+    def __init__(
+        self,
+        program: ir.IRProgram,
+        machine: Machine,
+        mode: ExecutionMode,
+        repeat_cap: Optional[int],
+        trace_rank: Optional[int] = None,
+    ) -> None:
+        self.program = program
+        self.machine = machine
+        self.mode = mode
+        self.repeat_cap = repeat_cap
+        rows, cols = machine.grid_shape
+        self.grid = ProcessorGrid(rows, cols)
+        domains = {name: dom for name, (dom, _) in program.arrays.items()}
+        self.layout = ProblemLayout(self.grid, domains)
+        fluff = {name: f for name, (_, f) in program.arrays.items()}
+        self.layout.check_fluff_feasible(fluff)
+        self.instrument = Instrumentation(machine.nprocs)
+        self.timing = TimingEngine(machine, self.instrument, trace_rank=trace_rank)
+        self.plans = PlanCache(self.layout, machine.nprocs)
+        self._elems_cache: Dict[Tuple, np.ndarray] = {}
+        self._payloads: Dict[int, List[List[np.ndarray]]] = {}
+
+        # replicated scalar environment: configs + scalars (zeroed) +
+        # loop variables as they come into scope
+        self.scalars: Dict[str, Union[int, float, bool]] = dict(
+            program.config_values
+        )
+        for name in program.scalars:
+            self.scalars[name] = 0.0
+
+        self.arrays: Optional[Dict[str, DistArray]] = None
+        if mode is ExecutionMode.NUMERIC:
+            self.arrays = {
+                name: DistArray(name, dom, f, self.layout)
+                for name, (dom, f) in program.arrays.items()
+            }
+            self.parallel = ParallelEvaluator(
+                self.arrays, self.scalars, self.layout
+            )
+            self.scalar_eval = ScalarEvaluator(
+                self.scalars, self.parallel.reduce
+            )
+        else:
+            self.parallel = None
+            self.scalar_eval = ScalarEvaluator(self.scalars, self._timing_reduce)
+
+    # ------------------------------------------------------------------
+    def _timing_reduce(self, expr: ir.IRReduce) -> float:
+        self.instrument.warn(
+            "TIMING mode evaluates reductions as 0.0; control flow "
+            "depending on reduced values is unreliable — run NUMERIC"
+        )
+        return 0.0
+
+    def _elements(self, region: Region) -> np.ndarray:
+        key = (region.lows, region.highs)
+        vec = self._elems_cache.get(key)
+        if vec is None:
+            vec = np.fromiter(
+                (
+                    region.intersect(
+                        self.layout.owned(region.rank, p)
+                    ).size
+                    for p in self.grid.ranks()
+                ),
+                dtype=np.float64,
+                count=self.machine.nprocs,
+            )
+            self._elems_cache[key] = vec
+        return vec
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        self._exec_body(self.program.body)
+        self.timing.assert_quiescent()
+        scalars_out = {
+            k: v
+            for k, v in self.scalars.items()
+            if k in self.program.scalars
+        }
+        return RunResult(
+            program_name=self.program.name,
+            machine_name=self.machine.name,
+            library=self.machine.library,
+            nprocs=self.machine.nprocs,
+            mode=self.mode,
+            time=self.timing.elapsed,
+            clocks=self.timing.clock.copy(),
+            dynamic_comm_count=self.instrument.dynamic_comm_count,
+            dynamic_comms=self.instrument.dynamic_comms.copy(),
+            static_comm_count=static_comm_count(self.program),
+            instrument=self.instrument,
+            scalars=scalars_out,
+            arrays=self.arrays,
+            trace=self.timing.trace if self.timing.trace_rank is not None else None,
+            trace_rank=self.timing.trace_rank,
+        )
+
+    # ------------------------------------------------------------------
+    def _exec_body(self, body: List[ir.IRStmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ir.Block):
+                for s in stmt.stmts:
+                    self._exec_simple(s)
+            elif isinstance(stmt, ir.ForLoop):
+                self._exec_for(stmt)
+            elif isinstance(stmt, ir.RepeatLoop):
+                self._exec_repeat(stmt)
+            elif isinstance(stmt, ir.IfStmt):
+                self._exec_if(stmt)
+            else:  # pragma: no cover - defensive
+                raise RuntimeFault(f"cannot execute {stmt!r}")
+
+    def _exec_for(self, stmt: ir.ForLoop) -> None:
+        lo = int(self.scalar_eval.eval(stmt.low))
+        hi = int(self.scalar_eval.eval(stmt.high))
+        step = int(self.scalar_eval.eval(stmt.step)) if stmt.step else 1
+        if step == 0:
+            raise RuntimeFault(f"for {stmt.var}: zero step")
+        stop = hi + (1 if step > 0 else -1)
+        for value in range(lo, stop, step):
+            self.scalars[stmt.var] = value
+            self._exec_body(stmt.body)
+
+    def _exec_repeat(self, stmt: ir.RepeatLoop) -> None:
+        cap = self.repeat_cap if self.repeat_cap is not None else stmt.max_trips
+        trips = 0
+        while True:
+            self._exec_body(stmt.body)
+            trips += 1
+            if bool(self.scalar_eval.eval(stmt.cond)):
+                break
+            if trips >= cap:
+                self.instrument.warn(
+                    f"repeat loop capped at {cap} trips without converging"
+                )
+                break
+
+    def _exec_if(self, stmt: ir.IfStmt) -> None:
+        for cond, body in stmt.arms:
+            if bool(self.scalar_eval.eval(cond)):
+                self._exec_body(body)
+                return
+        self._exec_body(stmt.orelse)
+
+    # ------------------------------------------------------------------
+    def _exec_simple(self, stmt: ir.SimpleStmt) -> None:
+        if isinstance(stmt, ir.ArrayAssign):
+            self.timing.charge_array_stmt(
+                stmt.flops, self._elements(stmt.region), label=stmt.target
+            )
+            if self.arrays is not None:
+                self._store_array_stmt(stmt)
+        elif isinstance(stmt, ir.ScalarAssign):
+            self._exec_scalar_assign(stmt)
+        elif isinstance(stmt, ir.CommCall):
+            self._exec_comm(stmt)
+        else:  # pragma: no cover - defensive
+            raise RuntimeFault(f"cannot execute {stmt!r}")
+
+    def _store_array_stmt(self, stmt: ir.ArrayAssign) -> None:
+        target = self.arrays[stmt.target]
+        for proc in self.grid.ranks():
+            owned = self.layout.owned(stmt.region.rank, proc)
+            box = stmt.region.intersect(owned)
+            if box.is_empty:
+                continue
+            value = self.parallel.eval(stmt.expr, proc, box)
+            dest = target.block(proc).view(box)
+            if isinstance(value, np.ndarray):
+                if np.shares_memory(value, target.block(proc).data):
+                    value = value.copy()
+                dest[...] = value
+            else:
+                dest[...] = value
+
+    def _exec_scalar_assign(self, stmt: ir.ScalarAssign) -> None:
+        # collective cost for each embedded reduction
+        for node in ir.walk_expr(stmt.expr):
+            if isinstance(node, ir.IRReduce):
+                self.timing.charge_reduction(
+                    ir.expr_flops(node.operand), self._elements(node.region)
+                )
+        self.timing.charge_scalar_stmt(ir.expr_flops(stmt.expr))
+        self.scalars[stmt.target] = self.scalar_eval.eval(stmt.expr)
+
+    def _exec_comm(self, stmt: ir.CommCall) -> None:
+        plan = self.plans.plan(stmt.desc)
+        if self.arrays is not None:
+            if stmt.kind is CallKind.SR:
+                self._snapshot(plan)
+            elif stmt.kind is CallKind.DN:
+                self._deliver(plan)
+        self.timing.comm_call(stmt.kind, plan)
+
+    def _snapshot(self, plan: TransferPlan) -> None:
+        if plan.message_count == 0:
+            return
+        payloads = [
+            [
+                self.arrays[copy.array]
+                .block(msg.sender)
+                .view(copy.source)
+                .copy()
+                for copy in msg.copies
+            ]
+            for msg in plan.messages
+        ]
+        self._payloads[plan.desc.id] = payloads
+
+    def _deliver(self, plan: TransferPlan) -> None:
+        if plan.message_count == 0:
+            return
+        payloads = self._payloads.pop(plan.desc.id, None)
+        if payloads is None:  # pragma: no cover - timing engine raises first
+            raise RuntimeFault(
+                f"delivery of {plan.desc.describe()} before initiation"
+            )
+        for msg, msg_payloads in zip(plan.messages, payloads):
+            for copy, payload in zip(msg.copies, msg_payloads):
+                self.arrays[copy.array].block(msg.receiver).view(copy.box)[
+                    ...
+                ] = payload
+
+
+def simulate(
+    program: ir.IRProgram,
+    machine: Machine,
+    mode: ExecutionMode = ExecutionMode.NUMERIC,
+    repeat_cap: Optional[int] = None,
+    trace_rank: Optional[int] = None,
+) -> RunResult:
+    """Run an optimized program on a simulated machine.
+
+    Parameters
+    ----------
+    program:
+        An :class:`~repro.ir.nodes.IRProgram`, typically from
+        :func:`repro.comm.optimize` (a communication-free program runs
+        too: on one processor, or trivially wrong on several — useful in
+        tests that demonstrate why communication is needed).
+    machine:
+        From :func:`repro.machine.paragon` / :func:`repro.machine.t3d`.
+    mode:
+        NUMERIC (data + time) or TIMING (time and counts only).
+    repeat_cap:
+        Override for every ``repeat`` loop's trip cap.
+    trace_rank:
+        Record the full event timeline (compute/send/recv/wait/...) of
+        one processor; retrieve it as ``result.trace`` and render it with
+        :mod:`repro.analysis.timeline`.
+    """
+    return _Simulation(program, machine, mode, repeat_cap, trace_rank).run()

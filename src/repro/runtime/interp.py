@@ -1,0 +1,191 @@
+"""Expression evaluation over distributed blocks.
+
+The evaluator computes an IR expression for one processor over one
+execution box (the intersection of the statement's region scope with the
+processor's owned block).  Array reads resolve to NumPy views of the
+local buffer; shifted reads resolve to views displaced into fluff.  A
+scalar evaluator handles replicated scalar expressions, delegating
+reductions back to the parallel evaluator.
+
+Evaluation never consults remote blocks: if a shifted read touches fluff
+that no transfer filled (because the optimizer dropped a needed
+communication), the evaluator happily reads stale zeros and the result
+diverges from the sequential reference — by design.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from repro.errors import RuntimeFault
+from repro.ir import nodes as ir
+from repro.lang.regions import Region
+
+Number = Union[int, float, bool]
+
+_BIN_OPS: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "^": lambda a, b: a**b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "and": lambda a, b: np.logical_and(a, b),
+    "or": lambda a, b: np.logical_or(a, b),
+}
+
+_INTRINSICS: Dict[str, Callable] = {
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "ln": np.log,
+    "log": np.log,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tanh": np.tanh,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "sign": np.sign,
+    "min": np.minimum,
+    "max": np.maximum,
+    "pow": np.power,
+}
+
+#: reduction op -> (numpy reducer over an array, pairwise combiner, identity)
+_REDUCERS = {
+    "+": (np.sum, lambda a, b: a + b, 0.0),
+    "*": (np.prod, lambda a, b: a * b, 1.0),
+    "max": (np.max, max, -math.inf),
+    "min": (np.min, min, math.inf),
+}
+
+
+class ParallelEvaluator:
+    """Evaluates parallel expressions per processor.
+
+    ``arrays`` maps names to :class:`~repro.runtime.distarray.DistArray`;
+    ``scalars`` is the replicated scalar environment (shared object,
+    mutated by the executor)."""
+
+    def __init__(self, arrays, scalars: Dict[str, Number], layout) -> None:
+        self.arrays = arrays
+        self.scalars = scalars
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    def eval(self, expr: ir.IRExpr, proc: int, box: Region):
+        """Evaluate ``expr`` for processor ``proc`` over ``box`` (global
+        coordinates, nonempty).  Returns an ndarray of ``box.shape`` or a
+        scalar (broadcast)."""
+        if isinstance(expr, ir.IRConst):
+            return float(expr.value) if not isinstance(expr.value, bool) else expr.value
+        if isinstance(expr, ir.IRScalarRead):
+            try:
+                return self.scalars[expr.name]
+            except KeyError:
+                raise RuntimeFault(f"unbound scalar {expr.name!r}") from None
+        if isinstance(expr, ir.IRIndex):
+            return _index_values(box, expr.dim)
+        if isinstance(expr, ir.IRArrayRead):
+            block = self.arrays[expr.array].block(proc)
+            read_box = (
+                box if expr.direction is None else box.shifted(expr.direction)
+            )
+            return block.view(read_box)
+        if isinstance(expr, ir.IRBin):
+            return _BIN_OPS[expr.op](
+                self.eval(expr.lhs, proc, box), self.eval(expr.rhs, proc, box)
+            )
+        if isinstance(expr, ir.IRUn):
+            operand = self.eval(expr.operand, proc, box)
+            return np.logical_not(operand) if expr.op == "not" else -operand
+        if isinstance(expr, ir.IRIntrinsic):
+            args = [self.eval(a, proc, box) for a in expr.args]
+            return _INTRINSICS[expr.func](*args)
+        raise RuntimeFault(f"cannot evaluate {expr!r} in parallel context")
+
+    # ------------------------------------------------------------------
+    def reduce(self, reduce_expr: ir.IRReduce) -> float:
+        """Evaluate a full reduction across all processors."""
+        reducer, combiner, identity = _REDUCERS[reduce_expr.op]
+        acc = identity
+        for proc in self.layout.grid.ranks():
+            owned = self.layout.owned(reduce_expr.region.rank, proc)
+            box = reduce_expr.region.intersect(owned)
+            if box.is_empty:
+                continue
+            local = self.eval(reduce_expr.operand, proc, box)
+            if isinstance(local, np.ndarray):
+                if local.size == 0:
+                    continue
+                part = float(reducer(local))
+            else:
+                # scalar operand broadcast over the box
+                if reduce_expr.op == "+":
+                    part = float(local) * box.size
+                elif reduce_expr.op == "*":
+                    part = float(local) ** box.size
+                else:
+                    part = float(local)
+            acc = combiner(acc, part)
+        return float(acc)
+
+
+class ScalarEvaluator:
+    """Evaluates replicated scalar expressions (conditions, loop bounds,
+    scalar assignments).  ``reduce_hook`` supplies the value of embedded
+    reductions: the numeric executor wires it to
+    :meth:`ParallelEvaluator.reduce`; the timing-only executor supplies a
+    constant and records a warning."""
+
+    def __init__(
+        self,
+        scalars: Dict[str, Number],
+        reduce_hook: Callable[[ir.IRReduce], float],
+    ) -> None:
+        self.scalars = scalars
+        self.reduce_hook = reduce_hook
+
+    def eval(self, expr: ir.IRExpr) -> Number:
+        if isinstance(expr, ir.IRConst):
+            return expr.value
+        if isinstance(expr, ir.IRScalarRead):
+            try:
+                return self.scalars[expr.name]
+            except KeyError:
+                raise RuntimeFault(f"unbound scalar {expr.name!r}") from None
+        if isinstance(expr, ir.IRReduce):
+            return self.reduce_hook(expr)
+        if isinstance(expr, ir.IRBin):
+            a, b = self.eval(expr.lhs), self.eval(expr.rhs)
+            if expr.op == "/" and isinstance(a, int) and isinstance(b, int):
+                # ZL integer division truncates (used for index arithmetic)
+                return a // b
+            return _BIN_OPS[expr.op](a, b)
+        if isinstance(expr, ir.IRUn):
+            v = self.eval(expr.operand)
+            return (not v) if expr.op == "not" else -v
+        if isinstance(expr, ir.IRIntrinsic):
+            args = [self.eval(a) for a in expr.args]
+            out = _INTRINSICS[expr.func](*args)
+            return float(out) if isinstance(out, np.generic) else out
+        raise RuntimeFault(f"cannot evaluate {expr!r} in scalar context")
+
+
+def _index_values(box: Region, dim: int) -> np.ndarray:
+    """The ``indexK`` builtin over a box: each point's coordinate in
+    dimension ``dim`` (1-based), shaped for broadcasting."""
+    d = dim - 1
+    lo, hi = box.lows[d], box.highs[d]
+    values = np.arange(lo, hi + 1, dtype=np.float64)
+    shape = [1] * box.rank
+    shape[d] = hi - lo + 1
+    return values.reshape(shape)

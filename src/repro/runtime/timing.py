@@ -1,0 +1,321 @@
+"""The per-rank timing engine.
+
+SPMD control flow is identical on every rank (scalar state is
+replicated), so the simulator advances all ranks through the same
+statement sequence and keeps a *clock vector* — one float per rank.  The
+interesting dynamics live entirely in the communication calls:
+
+``SR``
+    Each sender is charged the send primitive's software cost per
+    outgoing message (sequentially); each message's arrival time at its
+    receiver is ``sender-clock-after-injection + latency + bytes/BW``.
+    Arrivals are stored until DN.
+
+``DN``
+    Each receiver is charged the receive cost per incoming message and
+    waits for the latest arrival: ``clock = max(clock, arrival) + sw``.
+    This is where pipelining pays off — the further SR ran ahead of DN,
+    the more of the wire time has already elapsed.
+
+``DR`` / ``SV``
+    Charged per the bound primitive; ``synch`` (T3D SHMEM) performs a
+    heavyweight pairwise rendezvous that pulls each participant up to the
+    latest of its partners' clocks — the prototype-limitation behaviour
+    that hurts inherently sequential phases in the paper.
+
+Reductions synchronize all ranks (combine + broadcast tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import RuntimeFault
+from repro.ironman.calls import CallKind
+from repro.machine.params import Machine, SyncKind
+from repro.runtime.instrument import Instrumentation
+from repro.runtime.transfers import TransferPlan
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval on a traced processor's timeline.
+
+    ``kind`` is one of ``compute``, ``send``, ``recv``, ``wait``,
+    ``synch``, ``reduce``; intervals of a single rank never overlap and
+    cover every nonzero clock advance."""
+
+    start: float
+    end: float
+    kind: str
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TimingEngine:
+    machine: Machine
+    instrument: Instrumentation
+    #: rank whose timeline is recorded (None: tracing off)
+    trace_rank: Optional[int] = None
+    trace: List["TraceEvent"] = field(default_factory=list)
+    clock: np.ndarray = field(init=False)
+    #: desc id -> per-rank arrival times of the in-flight execution
+    _inflight: Dict[int, np.ndarray] = field(init=False, default_factory=dict)
+    #: desc id -> per-rank destination-ready (DR flag) times
+    _dr_times: Dict[int, np.ndarray] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.clock = np.zeros(self.machine.nprocs, dtype=np.float64)
+
+    def _record(self, kind: str, start: float, end: float, label: str = "") -> None:
+        if end > start:
+            self.trace.append(TraceEvent(start, end, kind, label))
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def charge_array_stmt(
+        self, flops: int, elements: np.ndarray, label: str = ""
+    ) -> None:
+        """Whole-array statement: each rank pays for its local elements
+        (idle ranks pay nothing)."""
+        comp = self.machine.compute
+        cost = np.where(
+            elements > 0,
+            comp.loop_overhead + flops * elements * comp.flop_time,
+            0.0,
+        )
+        if self.trace_rank is not None:
+            t0 = float(self.clock[self.trace_rank])
+            self._record(
+                "compute", t0, t0 + float(cost[self.trace_rank]), label
+            )
+        self.clock += cost
+        self.instrument.compute_time += cost
+
+    def charge_scalar_stmt(self, flops: int) -> None:
+        """Replicated scalar statement: every rank executes it."""
+        cost = max(flops, 1) * self.machine.compute.flop_time
+        self.clock += cost
+        self.instrument.compute_time += cost
+
+    def charge_reduction(self, flops: int, elements: np.ndarray) -> None:
+        """Local partial combine, then a synchronizing tree combine +
+        broadcast: all ranks leave at the same time."""
+        comp = self.machine.compute
+        partial = np.where(
+            elements > 0,
+            comp.loop_overhead + max(flops, 1) * elements * comp.flop_time,
+            0.0,
+        )
+        self.instrument.compute_time += partial
+        t = float((self.clock + partial).max())
+        t += self.machine.reduction.time(self.machine.nprocs)
+        waited = t - (self.clock + partial)
+        self.instrument.wait_time += waited
+        if self.trace_rank is not None:
+            r = self.trace_rank
+            t0 = float(self.clock[r])
+            self._record("compute", t0, t0 + float(partial[r]), "partial")
+            self._record("reduce", t0 + float(partial[r]), t, "tree+bcast")
+        self.clock[:] = t
+        self.instrument.record_reduction()
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def comm_call(self, kind: CallKind, plan: TransferPlan) -> None:
+        """Execute one IRONMAN call of one transfer on all ranks."""
+        prim_name = self.machine.binding.primitive(kind)
+        prim = self.machine.primitive(prim_name)
+        if plan.message_count == 0:
+            return  # nothing to move on this machine: calls find no work
+
+        if kind is CallKind.SR:
+            self._do_send(plan, prim, prim_name)
+        elif kind is CallKind.DN:
+            self._do_complete(plan, prim, prim_name)
+        elif kind is CallKind.DR:
+            self._do_pre(plan, prim, prim_name)
+        elif kind is CallKind.SV:
+            self._do_volatile(plan, prim, prim_name)
+
+    # -- SR -------------------------------------------------------------
+    def _do_send(self, plan: TransferPlan, prim, prim_name: str) -> None:
+        if plan.desc.id in self._inflight:
+            raise RuntimeFault(
+                f"transfer {plan.desc.describe()} initiated twice without "
+                "completion — optimizer produced an illegal schedule"
+            )
+        # One-way communication: a put may not start until the destination
+        # signalled buffer readiness (its DR `synch` posted a flag); the
+        # source blocks until the flag has crossed the wire.
+        dr = self._dr_times.pop(plan.desc.id, None)
+        if dr is not None:
+            flag_ready = np.full(self.machine.nprocs, -np.inf)
+            np.maximum.at(
+                flag_ready,
+                plan.senders,
+                dr[plan.receivers] + self.machine.network.raw,
+            )
+            waiting = plan.participants & np.isfinite(flag_ready)
+            flag_wait = np.maximum(
+                0.0, flag_ready[waiting] - self.clock[waiting]
+            )
+            self.instrument.wait_time[waiting] += flag_wait
+            if self.trace_rank is not None and waiting[self.trace_rank]:
+                t0 = float(self.clock[self.trace_rank])
+                t1 = max(t0, float(flag_ready[self.trace_rank]))
+                self._record("wait", t0, t1, f"DR flag {plan.desc.describe()}")
+            self.clock[waiting] = np.maximum(
+                self.clock[waiting], flag_ready[waiting]
+            )
+        vecs = plan.prim_vectors(prim, self.machine.network)
+        arrivals = np.full(self.machine.nprocs, -np.inf)
+        send_end = self.clock[plan.senders] + vecs.cum_sw
+        np.maximum.at(arrivals, plan.receivers, send_end + vecs.wire)
+        if self.trace_rank is not None:
+            t0 = float(self.clock[self.trace_rank])
+            t1 = t0 + float(vecs.total_sw_by_rank[self.trace_rank])
+            self._record("send", t0, t1, plan.desc.describe())
+        self.clock += vecs.total_sw_by_rank
+        self.instrument.comm_sw_time += vecs.total_sw_by_rank
+        self._inflight[plan.desc.id] = arrivals
+        self.instrument.record_transfer(plan)
+        self.instrument.record_calls(
+            prim_name, int((vecs.total_sw_by_rank > 0).sum())
+        )
+
+    # -- DN -------------------------------------------------------------
+    def _do_complete(self, plan: TransferPlan, prim, prim_name: str) -> None:
+        arrivals = self._inflight.pop(plan.desc.id, None)
+        if arrivals is None:
+            raise RuntimeFault(
+                f"completion of {plan.desc.describe()} before initiation — "
+                "optimizer produced an illegal schedule"
+            )
+        receivers = np.unique(plan.receivers)
+        if prim.sync is SyncKind.RENDEZVOUS:
+            # one-way completion: the destination polls its local
+            # data-complete flag.  The prototype's heavyweight
+            # synchronization makes long polls expensive: a bounded
+            # surcharge proportional to the wait (the paper's stated
+            # penalty on inherently sequential computations).
+            waited = np.maximum(
+                0.0, arrivals[receivers] - self.clock[receivers]
+            )
+            surcharge = prim.spread_penalty * np.minimum(
+                waited, prim.spread_cap
+            )
+            self.instrument.wait_time[receivers] += waited
+            self.instrument.comm_sw_time[receivers] += prim.fixed + surcharge
+            if self.trace_rank is not None and self.trace_rank in receivers:
+                i = int(np.searchsorted(receivers, self.trace_rank))
+                t0 = float(self.clock[self.trace_rank])
+                t_arr = max(t0, float(arrivals[self.trace_rank]))
+                self._record("wait", t0, t_arr, f"DN {plan.desc.describe()}")
+                self._record(
+                    "synch",
+                    t_arr,
+                    t_arr + prim.fixed + float(surcharge[i]),
+                    plan.desc.describe(),
+                )
+            self.clock[receivers] = (
+                np.maximum(self.clock[receivers], arrivals[receivers])
+                + prim.fixed
+                + surcharge
+            )
+        else:
+            sw = plan.recv_sw_by_rank(prim)
+            stall = np.maximum(
+                0.0, arrivals[receivers] - self.clock[receivers]
+            )
+            self.instrument.wait_time[receivers] += stall
+            self.instrument.comm_sw_time[receivers] += sw[receivers]
+            if self.trace_rank is not None and self.trace_rank in receivers:
+                t0 = float(self.clock[self.trace_rank])
+                t_arr = max(t0, float(arrivals[self.trace_rank]))
+                self._record("wait", t0, t_arr, f"DN {plan.desc.describe()}")
+                self._record(
+                    "recv",
+                    t_arr,
+                    t_arr + float(sw[self.trace_rank]),
+                    plan.desc.describe(),
+                )
+            waited = np.maximum(self.clock[receivers], arrivals[receivers])
+            self.clock[receivers] = waited + sw[receivers]
+        self.instrument.record_calls(prim_name, len(receivers))
+
+    # -- DR -------------------------------------------------------------
+    def _do_pre(self, plan: TransferPlan, prim, prim_name: str) -> None:
+        receivers = np.unique(plan.receivers)
+        if prim.sync is SyncKind.RENDEZVOUS:
+            # the destination readies its fluff buffer and posts a flag to
+            # each source; the put may not start before the flag lands
+            # (enforced at SR)
+            if self.trace_rank is not None and self.trace_rank in receivers:
+                t0 = float(self.clock[self.trace_rank])
+                self._record(
+                    "synch", t0, t0 + prim.fixed, f"DR {plan.desc.describe()}"
+                )
+            self.clock[receivers] += prim.fixed
+            self.instrument.comm_sw_time[receivers] += prim.fixed
+            self._dr_times[plan.desc.id] = self.clock.copy()
+        else:
+            # posting receives (irecv/hprobe): fixed cost per incoming
+            # message at each receiver
+            per_recv = np.zeros(self.machine.nprocs)
+            np.add.at(per_recv, plan.receivers, prim.fixed)
+            if self.trace_rank is not None:
+                t0 = float(self.clock[self.trace_rank])
+                self._record(
+                    "recv",
+                    t0,
+                    t0 + float(per_recv[self.trace_rank]),
+                    f"DR {plan.desc.describe()}",
+                )
+            self.clock += per_recv
+            self.instrument.comm_sw_time += per_recv
+        self.instrument.record_calls(prim_name, len(receivers))
+
+    # -- SV -------------------------------------------------------------
+    def _do_volatile(self, plan: TransferPlan, prim, prim_name: str) -> None:
+        senders = np.unique(plan.senders)
+        per_send = np.zeros(self.machine.nprocs)
+        np.add.at(per_send, plan.senders, prim.fixed)
+        if self.trace_rank is not None:
+            t0 = float(self.clock[self.trace_rank])
+            self._record(
+                "send",
+                t0,
+                t0 + float(per_send[self.trace_rank]),
+                f"SV {plan.desc.describe()}",
+            )
+        self.clock += per_send
+        self.instrument.comm_sw_time += per_send
+        self.instrument.record_calls(prim_name, len(senders))
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """The run's execution time: the last rank to finish."""
+        return float(self.clock.max())
+
+    def assert_quiescent(self) -> None:
+        if self._inflight:
+            raise RuntimeFault(
+                f"{len(self._inflight)} transfer(s) initiated but never "
+                "completed — optimizer produced an illegal schedule"
+            )
+        if self._dr_times:
+            raise RuntimeFault(
+                f"{len(self._dr_times)} destination-ready flag(s) posted "
+                "but never consumed — optimizer produced an illegal schedule"
+            )

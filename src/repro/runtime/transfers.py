@@ -1,0 +1,298 @@
+"""Transfer plans: which bytes move between which processors for one
+communication descriptor.
+
+For a transfer of ``A @ d`` serving statements over region ``r``, each
+processor ``k`` computes its part ``box_k = r ∩ owned_k`` and reads
+``box_k`` shifted by ``d``.  The cells of that shifted box falling outside
+``owned_k`` are fluff, owned by mesh neighbours.  For an axis direction
+that is one neighbour; for a diagonal direction like ``se`` the
+outside cells form an L (south strip, east strip, corner) spanning up to
+three neighbours.  The paper counts the whole thing as *one
+communication* ("a set of calls to perform a single data transfer"); the
+simulator prices the individual neighbour messages.
+
+A combined descriptor packs all its entries' strips for the same
+neighbour pair into one message (that is the point of combining: fewer,
+larger messages, same volume).
+
+Plans are pure metadata (global-coordinate boxes and byte counts).  The
+timing engine consumes the vectorized views; the numeric engine walks the
+message list to snapshot and deliver real strip data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RuntimeFault
+from repro.ir.nodes import CommDescriptor
+from repro.lang.regions import Direction, Region
+from repro.runtime.layout import ProblemLayout
+
+_DOUBLE = 8  # bytes per element; ZL arrays are doubles
+
+
+@dataclass(frozen=True)
+class StripCopy:
+    """One rectangular piece of one array inside one message.
+
+    ``box`` is in destination coordinates (the receiver's fluff);
+    ``src_box`` is in the sender's owned coordinates.  They coincide for
+    ordinary transfers and differ by a domain extent per wrapped
+    dimension for periodic (wrap-@) transfers."""
+
+    array: str
+    box: Region
+    src_box: Optional[Region] = None
+
+    @property
+    def source(self) -> Region:
+        return self.src_box if self.src_box is not None else self.box
+
+
+@dataclass
+class Message:
+    """One point-to-point message of a transfer."""
+
+    sender: int
+    receiver: int
+    copies: List[StripCopy]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.box.size for c in self.copies) * _DOUBLE
+
+    def __post_init__(self) -> None:
+        for c in self.copies:
+            assert c.source.size == c.box.size, "wrap strip size mismatch"
+
+
+@dataclass
+class _PrimCache:
+    """Per-primitive precomputed timing vectors for a plan."""
+
+    cum_sw: np.ndarray  # per message: cumulative send sw at its sender
+    total_sw_by_rank: np.ndarray  # per rank: total send sw
+    wire: np.ndarray  # per message: latency + bytes/bandwidth
+
+
+class TransferPlan:
+    """All messages of one descriptor on one machine layout."""
+
+    def __init__(
+        self, desc: CommDescriptor, layout: ProblemLayout, nprocs: int
+    ) -> None:
+        self.desc = desc
+        self.nprocs = nprocs
+        self.messages: List[Message] = _build_messages(desc, layout)
+        m = len(self.messages)
+        self.senders = np.fromiter(
+            (msg.sender for msg in self.messages), dtype=np.int64, count=m
+        )
+        self.receivers = np.fromiter(
+            (msg.receiver for msg in self.messages), dtype=np.int64, count=m
+        )
+        self.nbytes = np.fromiter(
+            (msg.nbytes for msg in self.messages), dtype=np.int64, count=m
+        )
+        participants = np.zeros(nprocs, dtype=bool)
+        participants[self.senders] = True
+        participants[self.receivers] = True
+        self.participants = participants
+        self.participant_count = int(participants.sum())
+        self._prim_cache: Dict[Tuple[str, float, float], _PrimCache] = {}
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    def prim_vectors(self, prim, network) -> _PrimCache:
+        """Cached per-primitive (cum_sw, total_by_rank, wire) vectors."""
+        key = (prim.name, network.latency, network.raw, network.bandwidth, prim.raw_wire)
+        cached = self._prim_cache.get(key)
+        if cached is not None:
+            return cached
+        sw = np.fromiter(
+            (prim.sw(int(b)) for b in self.nbytes),
+            dtype=np.float64,
+            count=len(self.nbytes),
+        )
+        cum_sw = np.zeros_like(sw)
+        total = np.zeros(self.nprocs, dtype=np.float64)
+        for i, s in enumerate(self.senders):
+            total[s] += sw[i]
+            cum_sw[i] = total[s]
+        wire = np.fromiter(
+            (
+                network.transfer_time(int(b), raw_wire=prim.raw_wire)
+                for b in self.nbytes
+            ),
+            dtype=np.float64,
+            count=len(self.nbytes),
+        )
+        cached = _PrimCache(cum_sw=cum_sw, total_sw_by_rank=total, wire=wire)
+        self._prim_cache[key] = cached
+        return cached
+
+    def recv_sw_by_rank(self, prim) -> np.ndarray:
+        """Per-rank total receive software cost under ``prim``."""
+        out = np.zeros(self.nprocs, dtype=np.float64)
+        for i, r in enumerate(self.receivers):
+            out[r] += prim.sw(int(self.nbytes[i]))
+        return out
+
+
+def _nonempty_subsets(dims: List[int]) -> List[Tuple[int, ...]]:
+    out: List[Tuple[int, ...]] = []
+    n = len(dims)
+    for mask in range(1, 1 << n):
+        out.append(tuple(dims[i] for i in range(n) if mask & (1 << i)))
+    return out
+
+
+def _build_messages(
+    desc: CommDescriptor, layout: ProblemLayout
+) -> List[Message]:
+    grid = layout.grid
+    pair_copies: Dict[Tuple[int, int], List[StripCopy]] = {}
+
+    for entry in desc.entries:
+        domain = layout.array_domains[entry.array]
+        rank = domain.rank
+        dist_dims = list(layout.distributed_dims(rank))
+        offsets = desc.direction.offsets
+        active = [d for d in dist_dims if offsets[d] != 0]
+        if not active:
+            continue  # purely local shift: no messages
+
+        for receiver in grid.ranks():
+            owned_class = layout.owned(rank, receiver)
+            box = entry.use_region.intersect(owned_class)
+            if box.is_empty:
+                continue
+            needed = box.shifted(desc.direction)
+            for subset in _nonempty_subsets(active):
+                lows, highs = list(needed.lows), list(needed.highs)
+                ok = True
+                for d in range(rank):
+                    if d in subset:
+                        # the overflow strip on the offset's side
+                        if offsets[d] > 0:
+                            lo = max(lows[d], owned_class.highs[d] + 1)
+                            hi = highs[d]
+                        else:
+                            lo = lows[d]
+                            hi = min(highs[d], owned_class.lows[d] - 1)
+                    elif d in dist_dims:
+                        lo = max(lows[d], owned_class.lows[d])
+                        hi = min(highs[d], owned_class.highs[d])
+                    else:
+                        lo, hi = lows[d], highs[d]
+                    if hi < lo:
+                        ok = False
+                        break
+                    lows[d], highs[d] = lo, hi
+                if not ok:
+                    continue
+                strip = Region(
+                    f"<strip:{entry.array}>", tuple(lows), tuple(highs)
+                )
+                if desc.wrap:
+                    sender, src = _wrap_source(
+                        desc, entry, strip, domain, layout
+                    )
+                    pair_copies.setdefault((sender, receiver), []).append(
+                        StripCopy(array=entry.array, box=strip, src_box=src)
+                    )
+                    continue
+                step = _mesh_step(rank, dist_dims, subset, offsets)
+                sender = grid.neighbor(receiver, step)
+                if sender is None:
+                    raise RuntimeFault(
+                        f"transfer {desc.describe()}: strip {strip} for "
+                        f"rank {receiver} has no owning neighbour — "
+                        "layout/semantic inconsistency"
+                    )
+                pair_copies.setdefault((sender, receiver), []).append(
+                    StripCopy(array=entry.array, box=strip)
+                )
+
+    return [
+        Message(sender=s, receiver=r, copies=copies)
+        for (s, r), copies in sorted(pair_copies.items())
+    ]
+
+
+def _wrap_source(desc, entry, strip: Region, domain: Region, layout):
+    """Source rank and source-coordinate box for a (possibly wrapped)
+    periodic strip: coordinates outside the domain fold back by one
+    domain extent, and the owner of the folded box sends it."""
+    cls = layout.rank_class(domain.rank)
+    lows, highs = list(strip.lows), list(strip.highs)
+    for d in range(domain.rank):
+        extent = domain.highs[d] - domain.lows[d] + 1
+        if (
+            cls.bounding.lows[d] != domain.lows[d]
+            or cls.bounding.highs[d] != domain.highs[d]
+        ) and (lows[d] < domain.lows[d] or highs[d] > domain.highs[d]):
+            raise RuntimeFault(
+                f"wrap transfer of {entry.array!r}: its domain does not "
+                f"span the rank-class layout in dim {d + 1}; periodic "
+                "arrays must cover the full distributed extent"
+            )
+        if highs[d] < domain.lows[d]:
+            lows[d] += extent
+            highs[d] += extent
+        elif lows[d] > domain.highs[d]:
+            lows[d] -= extent
+            highs[d] -= extent
+    src = Region(f"<wrapsrc:{entry.array}>", tuple(lows), tuple(highs))
+    if not domain.contains(src):
+        raise RuntimeFault(
+            f"wrap transfer of {entry.array!r}: folded strip {src} still "
+            f"escapes the domain {domain} — offset too large for the mesh"
+        )
+    sender = layout.owner_of(domain.rank, src.lows)
+    sender_hi = layout.owner_of(domain.rank, src.highs)
+    if sender != sender_hi:
+        raise RuntimeFault(
+            f"wrap transfer of {entry.array!r}: strip {src} spans "
+            "processors — shift width exceeds a block"
+        )
+    return sender, src
+
+
+def _mesh_step(
+    rank: int,
+    dist_dims: List[int],
+    subset: Tuple[int, ...],
+    offsets: Tuple[int, ...],
+) -> Tuple[int, int]:
+    """Mesh offset of the neighbour owning the overflow strip for
+    ``subset`` (receiver -> sender direction)."""
+    step = [0, 0]
+    for mesh_axis, d in enumerate(dist_dims):
+        if d in subset:
+            step[mesh_axis] = 1 if offsets[d] > 0 else -1
+    if rank == 1:
+        return (step[0], 0)
+    return (step[0], step[1])
+
+
+class PlanCache:
+    """Per-simulation cache of transfer plans keyed by descriptor id."""
+
+    def __init__(self, layout: ProblemLayout, nprocs: int) -> None:
+        self.layout = layout
+        self.nprocs = nprocs
+        self._plans: Dict[int, TransferPlan] = {}
+
+    def plan(self, desc: CommDescriptor) -> TransferPlan:
+        plan = self._plans.get(desc.id)
+        if plan is None:
+            plan = TransferPlan(desc, self.layout, self.nprocs)
+            self._plans[desc.id] = plan
+        return plan

@@ -1,0 +1,73 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.analysis import EXPERIMENT_KEYS, experiment_spec, run_experiment
+from repro.analysis.experiments import run_benchmark_suite
+from repro.errors import ExperimentError
+from repro.programs import small_config
+
+
+def test_keys_match_paper_figure9():
+    assert EXPERIMENT_KEYS == (
+        "baseline",
+        "rr",
+        "cc",
+        "pl",
+        "pl_shmem",
+        "pl_maxlat",
+    )
+
+
+def test_specs_are_cumulative():
+    base, _, _ = experiment_spec("baseline")
+    rr, _, _ = experiment_spec("rr")
+    cc, _, _ = experiment_spec("cc")
+    pl, _, _ = experiment_spec("pl")
+    assert not base.rr and rr.rr and not rr.cc
+    assert cc.rr and cc.cc and not cc.pl
+    assert pl.rr and pl.cc and pl.pl
+
+
+def test_shmem_keys_use_shmem_library():
+    for key in ("pl_shmem", "pl_maxlat"):
+        _, lib, _ = experiment_spec(key)
+        assert lib == "shmem"
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(ExperimentError, match="valid"):
+        experiment_spec("super_opt")
+
+
+def test_run_experiment_returns_counts_and_time():
+    res = run_experiment(
+        "swm", "cc", nprocs=16, config=small_config("swm")
+    )
+    assert res.benchmark == "swm"
+    assert res.library == "pvm"
+    assert res.static_count > 0
+    assert res.dynamic_count > 0
+    assert res.execution_time > 0
+
+
+def test_suite_grid_shape():
+    results = run_benchmark_suite(
+        ["swm"],
+        keys=("baseline", "cc"),
+        nprocs=16,
+        config_overrides={"swm": small_config("swm")},
+    )
+    assert set(results) == {"swm"}
+    assert [r.experiment for r in results["swm"]] == ["baseline", "cc"]
+
+
+def test_scaled_to_baseline():
+    results = run_benchmark_suite(
+        ["swm"],
+        keys=("baseline", "cc"),
+        nprocs=16,
+        config_overrides={"swm": small_config("swm")},
+    )
+    base, cc = results["swm"]
+    assert cc.scaled_to(base) == cc.execution_time / base.execution_time

@@ -1,0 +1,109 @@
+"""Tests for execution tracing and timeline rendering."""
+
+import pytest
+
+from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro.analysis.timeline import GLYPHS, render_timeline, summarize
+from repro.runtime.timing import TraceEvent
+from tests.conftest import compile_demo
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return simulate(
+        compile_demo(OptimizationConfig.full()),
+        t3d(4),
+        ExecutionMode.TIMING,
+        trace_rank=0,
+    )
+
+
+class TestTracing:
+    def test_trace_absent_by_default(self):
+        res = simulate(
+            compile_demo(OptimizationConfig.full()), t3d(4), ExecutionMode.TIMING
+        )
+        assert res.trace is None
+
+    def test_trace_present_when_requested(self, traced):
+        assert traced.trace_rank == 0
+        assert len(traced.trace) > 0
+
+    def test_events_ordered_and_nonoverlapping(self, traced):
+        cursor = 0.0
+        for event in traced.trace:
+            assert event.start >= cursor - 1e-15
+            assert event.end >= event.start
+            cursor = event.end
+
+    def test_events_cover_the_clock(self, traced):
+        total = sum(e.duration for e in traced.trace)
+        # scalar statements are unrecorded noise; everything else is
+        assert total == pytest.approx(float(traced.clocks[0]), rel=1e-2)
+
+    def test_known_kinds_only(self, traced):
+        assert {e.kind for e in traced.trace} <= set(GLYPHS)
+
+    def test_compute_events_carry_target_labels(self, traced):
+        labels = {e.label for e in traced.trace if e.kind == "compute"}
+        assert "A" in labels and "C" in labels
+
+    def test_tracing_does_not_change_results(self):
+        plain = simulate(
+            compile_demo(OptimizationConfig.full()), t3d(4), ExecutionMode.TIMING
+        )
+        traced = simulate(
+            compile_demo(OptimizationConfig.full()),
+            t3d(4),
+            ExecutionMode.TIMING,
+            trace_rank=2,
+        )
+        assert plain.time == traced.time
+        assert plain.dynamic_comm_count == traced.dynamic_comm_count
+
+
+class TestRendering:
+    def test_strip_width(self, traced):
+        out = render_timeline(traced.trace, width=50)
+        strip = out.splitlines()[0]
+        assert strip.startswith("|") and strip.endswith("|")
+        assert len(strip) == 52
+
+    def test_dominant_kind_chosen(self):
+        trace = [
+            TraceEvent(0.0, 0.9, "compute", "A"),
+            TraceEvent(0.9, 1.0, "send", "x"),
+        ]
+        out = render_timeline(trace, width=10).splitlines()[0]
+        assert out.count("#") == 9
+        assert out.count("s") == 1
+
+    def test_empty_trace(self):
+        assert "empty" in render_timeline([])
+
+    def test_window_selection(self):
+        trace = [TraceEvent(0.0, 1.0, "compute"), TraceEvent(1.0, 2.0, "send")]
+        out = render_timeline(trace, width=10, start=1.0, end=2.0)
+        assert "#" not in out.splitlines()[0]
+
+    def test_legend_present(self, traced):
+        assert "#=compute" in render_timeline(traced.trace)
+
+
+class TestSummary:
+    def test_summarize_totals(self):
+        trace = [
+            TraceEvent(0.0, 1.0, "compute"),
+            TraceEvent(1.0, 1.5, "compute"),
+            TraceEvent(1.5, 1.6, "wait"),
+        ]
+        rows = summarize(trace)
+        assert rows[0] == ("compute", pytest.approx(1.5), 2)
+        assert rows[1][0] == "wait"
+
+    def test_summary_matches_breakdown(self, traced):
+        totals = {k: t for k, t, _ in summarize(traced.trace)}
+        inst = traced.instrument
+        assert totals.get("compute", 0.0) == pytest.approx(
+            float(inst.compute_time[0]), rel=1e-2
+        )

@@ -1,0 +1,148 @@
+"""Unit tests for communication combination and its two heuristics."""
+
+import pytest
+
+from repro import compile_program
+from repro.comm.combining import combine
+from repro.comm.planning import plan_naive
+from repro.comm.redundancy import remove_redundant
+from repro.errors import OptimizationError
+
+
+def plan_of(body, heuristic="max_combining", rr=True):
+    src = f"""
+    program p;
+    config n : integer = 8;
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    direction east = [0, 1];
+    direction west = [0, -1];
+    var A, B, C, D, E : [R] double;
+    procedure main(); begin {body} end;
+    """
+    prog = compile_program(src, "p.zl")
+    plan = plan_naive(prog.body[0])
+    if rr:
+        remove_redundant(plan)
+    merged = combine(plan, heuristic)
+    return plan, merged
+
+
+class TestMaxCombining:
+    def test_same_direction_different_arrays_merge(self):
+        plan, merged = plan_of("[In] C := A@east; [In] D := B@east;")
+        assert merged == 1
+        assert len(plan.comms) == 1
+        assert sorted(plan.comms[0].arrays()) == ["A", "B"]
+
+    def test_different_directions_do_not_merge(self):
+        plan, merged = plan_of("[In] C := A@east; [In] D := B@west;")
+        assert merged == 0
+
+    def test_same_statement_references_merge(self):
+        plan, merged = plan_of("[In] C := A@east + B@east;")
+        assert merged == 1
+
+    def test_write_between_makes_merge_illegal(self):
+        # B's data is only ready after C's use: can't share one transfer
+        plan, merged = plan_of(
+            "[In] C := A@east; [In] B := C * 2.0; [In] D := B@east;"
+        )
+        assert merged == 0
+
+    def test_same_array_never_merges_with_itself(self):
+        plan, merged = plan_of(
+            "[In] C := A@east; [In] A := C; [In] D := A@east;", rr=True
+        )
+        # two A@east transfers with a write between: distinct data
+        assert merged == 0
+        assert len(plan.comms) == 2
+
+    def test_three_way_merge(self):
+        plan, merged = plan_of(
+            "[In] D := A@east; [In] E := B@east; [In] C := A@east + B@east;"
+        )
+        # after rr the third statement's refs fold into the first two
+        assert merged == 1
+        assert len(plan.comms) == 1
+
+    def test_paper_figure1_combination(self):
+        """Figure 1(c): B and E combine into a single transfer."""
+        plan, merged = plan_of(
+            "[R] B := 1.0;"
+            "[In] A := B@east;"
+            "[In] C := B@east;"
+            "[In] D := E@east;"
+        )
+        assert merged == 1
+        assert len(plan.comms) == 1
+        assert sorted(plan.comms[0].arrays()) == ["B", "E"]
+
+    def test_merged_transfer_placement_points(self):
+        plan, _ = plan_of("[R] A := 1.0; [In] C := A@east; [In] D := B@east;")
+        (comm,) = plan.comms
+        assert comm.ready == 1  # A written at stmt 0
+        assert comm.use == 1  # C's statement
+
+
+class TestMaxLatency:
+    def test_same_statement_group_still_merges(self):
+        plan, merged = plan_of("[In] C := A@east + B@east;", "max_latency")
+        assert merged == 1
+
+    def test_cross_statement_group_rejected(self):
+        plan, merged = plan_of(
+            "[In] C := A@east; [In] D := B@east;", "max_latency"
+        )
+        assert merged == 0
+
+    def test_identical_spans_merge(self):
+        # neither array written in the block (ready 0), both first used at
+        # statement 1: identical spans, merging loses nothing
+        plan, merged = plan_of(
+            "[R] D := 1.0; [In] C := A@east + B@east;", "max_latency"
+        )
+        assert merged == 1
+
+    def test_unequal_ready_points_rejected(self):
+        # A becomes ready at 1, B at 0: B would lose hiding distance
+        plan, merged = plan_of(
+            "[R] A := 1.0; [In] C := A@east + B@east;", "max_latency"
+        )
+        assert merged == 0
+
+    def test_nested_but_unequal_spans_rejected(self):
+        # A's span is [0,1], B's span is [0,2]: merging would shrink B's
+        # hiding distance from 2 to 1
+        plan, merged = plan_of(
+            "[R] D := 1.0; [In] C := A@east; [In] E := B@east;", "max_latency"
+        )
+        assert merged == 0
+
+    def test_merged_count_never_below_max_combining(self):
+        body = (
+            "[In] C := A@east; [In] D := B@east; "
+            "[In] E := A@west + B@west;"
+        )
+        plan_mc, _ = plan_of(body, "max_combining")
+        plan_ml, _ = plan_of(body, "max_latency")
+        assert len(plan_ml.comms) >= len(plan_mc.comms)
+
+
+class TestVolumeAndErrors:
+    def test_combining_preserves_member_count(self):
+        """Combining reduces messages, not volume: total entries constant."""
+        body = "[In] C := A@east; [In] D := B@east; [In] E := A@west;"
+        plan, _ = plan_of(body)
+        assert sum(len(c.members) for c in plan.comms) == 3
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(OptimizationError, match="heuristic"):
+            plan_of("[In] C := A@east;", "maximal")
+
+    def test_comms_sorted_by_use_after_combining(self):
+        plan, _ = plan_of(
+            "[In] C := B@west; [In] D := A@east; [In] E := B@east;"
+        )
+        uses = [c.use for c in plan.comms]
+        assert uses == sorted(uses)

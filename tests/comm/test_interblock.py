@@ -1,0 +1,175 @@
+"""Tests for inter-block redundancy removal (the paper's future-work
+dataflow extension)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExecutionMode,
+    OptimizationConfig,
+    compile_program,
+    reference_run,
+    simulate,
+    t3d,
+)
+from repro.errors import OptimizationError
+
+HEADER = """
+program ib;
+config n : integer = 12;
+region R   = [1..n, 1..n];
+region In  = [2..n-1, 2..n-1];
+region Sub = [3..n-2, 3..n-2];
+direction east = [0, 1];
+direction west = [0, -1];
+var A, B, C, D : [R] double;
+"""
+
+
+def compiled(procs_and_main, rr_interblock=True, cc=False, pl=False):
+    cfg = OptimizationConfig(
+        rr=True, cc=cc, pl=pl, rr_interblock=rr_interblock
+    )
+    return compile_program(HEADER + procs_and_main, "ib.zl", opt=cfg)
+
+
+def static(prog):
+    return len(prog.all_descriptors())
+
+
+TWO_PHASE = """
+procedure p1(); begin [In] B := A@east; end;
+procedure p2(); begin [In] C := A@east * 0.5; end;
+procedure main();
+begin
+  [R] A := index1 + index2 * 0.1;
+  p1();
+  p2();
+end;
+"""
+
+
+class TestRemoval:
+    def test_cross_block_repeat_removed(self):
+        with_ib = compiled(TWO_PHASE, rr_interblock=True)
+        without = compiled(TWO_PHASE, rr_interblock=False)
+        assert static(without) == 2
+        assert static(with_ib) == 1
+
+    def test_write_between_blocks_kills(self):
+        src = """
+        procedure p1(); begin [In] B := A@east; end;
+        procedure p2(); begin [In] A := B; end;
+        procedure p3(); begin [In] C := A@east; end;
+        procedure main();
+        begin
+          [R] A := index1;
+          p1(); p2(); p3();
+        end;
+        """
+        assert static(compiled(src)) == 2
+
+    def test_covering_region_required(self):
+        # the earlier transfer covers only Sub; the later use over the
+        # larger In would read fluff the first transfer never delivered
+        src = """
+        procedure p1(); begin [Sub] B := A@east; end;
+        procedure p2(); begin [In] C := A@east; end;
+        procedure main();
+        begin
+          [R] A := index1;
+          p1(); p2();
+        end;
+        """
+        assert static(compiled(src)) == 2
+
+    def test_smaller_later_use_covered(self):
+        src = """
+        procedure p1(); begin [In] B := A@east; end;
+        procedure p2(); begin [Sub] C := A@east; end;
+        procedure main();
+        begin
+          [R] A := index1;
+          p1(); p2();
+        end;
+        """
+        assert static(compiled(src)) == 1
+
+    def test_loop_boundary_conservative(self):
+        # the transfer before the loop is not assumed available inside it
+        src = """
+        procedure main();
+        begin
+          [R] A := index1;
+          [In] B := A@east;
+          for t := 1 to 2 do
+            [In] C := A@east;
+          end;
+        end;
+        """
+        assert static(compiled(src)) == 2
+
+    def test_blocks_inside_one_loop_iteration_share(self):
+        src = """
+        procedure p1(); begin [In] B := A@east; end;
+        procedure p2(); begin [In] C := A@east + B; end;
+        procedure main();
+        begin
+          [R] A := index1;
+          for t := 1 to 3 do
+            p1(); p2();
+            [In] A := A * 0.99 + C * 0.01;
+          end;
+        end;
+        """
+        assert static(compiled(src)) == 1
+
+    def test_requires_rr(self):
+        with pytest.raises(OptimizationError, match="rr"):
+            OptimizationConfig(rr=False, rr_interblock=True)
+
+    def test_describe_mentions_extension(self):
+        cfg = OptimizationConfig(rr=True, rr_interblock=True)
+        assert "ib" in cfg.describe()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("lib", ["pvm", "shmem"])
+    def test_numerics_preserved(self, lib):
+        src = """
+        procedure p1(); begin [In] B := A@east - A@west; end;
+        procedure p2(); begin [In] C := A@east * 0.5 + A@west * 0.25; end;
+        procedure main();
+        begin
+          [R] A := index1 * 0.3 + index2;
+          for t := 1 to 4 do
+            p1(); p2();
+            [In] A := A * 0.9 + 0.05 * (B + C);
+          end;
+        end;
+        """
+        ref = reference_run(compile_program(HEADER + src, "ib.zl"))
+        prog = compiled(src, cc=True, pl=True)
+        res = simulate(prog, t3d(4, lib), ExecutionMode.NUMERIC)
+        for name in "ABC":
+            assert np.allclose(res.array(name), ref.array(name))
+
+    def test_dynamic_counts_drop(self):
+        src = """
+        procedure p1(); begin [In] B := A@east; end;
+        procedure p2(); begin [In] C := A@east + B; end;
+        procedure main();
+        begin
+          [R] A := index1;
+          for t := 1 to 5 do
+            p1(); p2();
+          end;
+        end;
+        """
+        with_ib = simulate(
+            compiled(src, rr_interblock=True), t3d(4), ExecutionMode.TIMING
+        )
+        without = simulate(
+            compiled(src, rr_interblock=False), t3d(4), ExecutionMode.TIMING
+        )
+        assert with_ib.dynamic_comm_count < without.dynamic_comm_count

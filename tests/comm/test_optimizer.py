@@ -1,0 +1,145 @@
+"""Unit tests for the optimization driver and materialization."""
+
+import pytest
+
+from repro import OptimizationConfig, compile_program, optimize, static_comm_count
+from repro.errors import OptimizationError
+from repro.ir.nodes import Block, CommCall, ForLoop
+from repro.ironman.calls import CallKind
+
+SRC = """
+program p;
+config n : integer = 8;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+direction west = [0, -1];
+var A, B, C, D, E : [R] double;
+procedure main();
+begin
+  [R] B := 1.0;
+  [In] A := B@east;
+  [In] C := B@east;
+  [In] D := E@east;
+  for t := 1 to 3 do
+    [In] A := A + 0.5 * (B@west - B);
+  end;
+end;
+"""
+
+
+def counts_for(config):
+    prog = compile_program(SRC, "p.zl", opt=config)
+    return static_comm_count(prog)
+
+
+class TestConfigKeys:
+    def test_baseline_has_no_optimizations(self):
+        cfg = OptimizationConfig.baseline()
+        assert not (cfg.rr or cfg.cc or cfg.pl)
+
+    def test_full_enables_all(self):
+        cfg = OptimizationConfig.full()
+        assert cfg.rr and cfg.cc and cfg.pl
+        assert cfg.combine_heuristic == "max_combining"
+
+    def test_max_latency_key(self):
+        cfg = OptimizationConfig.full_max_latency()
+        assert cfg.combine_heuristic == "max_latency"
+
+    def test_describe(self):
+        assert OptimizationConfig.baseline().describe() == "baseline"
+        assert OptimizationConfig.full().describe() == "rr+cc+pl"
+        assert "maxlat" in OptimizationConfig.full_max_latency().describe()
+
+    def test_invalid_heuristic_rejected_at_construction(self):
+        with pytest.raises(OptimizationError):
+            OptimizationConfig(cc=True, combine_heuristic="bogus")
+
+
+class TestStaticCounts:
+    def test_figure1_progression(self):
+        # main block: baseline 3, rr 2, cc 1 — exactly the paper's Figure 1
+        base = counts_for(OptimizationConfig.baseline())
+        rr = counts_for(OptimizationConfig.rr_only())
+        cc = counts_for(OptimizationConfig.rr_cc())
+        assert base == 3 + 1  # + B@west in the loop
+        assert rr == 2 + 1
+        assert cc == 1 + 1
+
+    def test_pipelining_does_not_change_counts(self):
+        assert counts_for(OptimizationConfig.rr_cc()) == counts_for(
+            OptimizationConfig.full()
+        )
+
+    def test_counts_monotone_nonincreasing(self):
+        seq = [
+            counts_for(OptimizationConfig.baseline()),
+            counts_for(OptimizationConfig.rr_only()),
+            counts_for(OptimizationConfig.rr_cc()),
+        ]
+        assert seq == sorted(seq, reverse=True)
+
+    def test_maxlat_between_rr_and_cc(self):
+        rr = counts_for(OptimizationConfig.rr_only())
+        cc = counts_for(OptimizationConfig.rr_cc())
+        ml = counts_for(OptimizationConfig.full_max_latency())
+        assert cc <= ml <= rr
+
+
+class TestMaterialization:
+    def test_every_transfer_has_all_four_calls(self):
+        prog = compile_program(SRC, "p.zl", opt=OptimizationConfig.full())
+        for block in prog.walk_blocks():
+            for desc in block.descriptors():
+                kinds = [
+                    call.kind
+                    for call in block.comm_calls()
+                    if call.desc.id == desc.id
+                ]
+                assert sorted(k.name for k in kinds) == ["DN", "DR", "SR", "SV"]
+
+    def test_call_order_within_block(self):
+        prog = compile_program(SRC, "p.zl", opt=OptimizationConfig.full())
+        for block in prog.walk_blocks():
+            seen = {}
+            for pos, stmt in enumerate(block.stmts):
+                if isinstance(stmt, CommCall):
+                    seen.setdefault(stmt.desc.id, {})[stmt.kind] = pos
+            for calls in seen.values():
+                assert calls[CallKind.DR] <= calls[CallKind.SR]
+                assert calls[CallKind.SR] < calls[CallKind.DN]
+                assert calls[CallKind.DN] < calls[CallKind.SV]
+
+    def test_core_statements_preserved_in_order(self):
+        plain = compile_program(SRC, "p.zl")
+        full = compile_program(SRC, "p.zl", opt=OptimizationConfig.full())
+        for b_plain, b_full in zip(plain.walk_blocks(), full.walk_blocks()):
+            assert [
+                getattr(s, "target", None) for s in b_plain.core_stmts()
+            ] == [getattr(s, "target", None) for s in b_full.core_stmts()]
+
+    def test_loop_structure_preserved(self):
+        prog = compile_program(SRC, "p.zl", opt=OptimizationConfig.full())
+        kinds = [type(s).__name__ for s in prog.body]
+        assert kinds == ["Block", "ForLoop"]
+        loop = prog.body[1]
+        assert isinstance(loop, ForLoop)
+        assert isinstance(loop.body[0], Block)
+
+    def test_double_optimization_rejected(self):
+        prog = compile_program(SRC, "p.zl", opt=OptimizationConfig.full())
+        with pytest.raises(OptimizationError, match="communication-free"):
+            optimize(prog, OptimizationConfig.baseline())
+
+    def test_baseline_emits_calls_adjacent_to_use(self):
+        prog = compile_program(SRC, "p.zl", opt=OptimizationConfig.baseline())
+        block = next(prog.walk_blocks())
+        # in naive code all four calls of a transfer are contiguous
+        stmts = block.stmts
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, CommCall) and stmt.kind is CallKind.DR:
+                group = stmts[i : i + 4]
+                assert [
+                    s.kind for s in group if isinstance(s, CommCall)
+                ] == [CallKind.DR, CallKind.SR, CallKind.DN, CallKind.SV]

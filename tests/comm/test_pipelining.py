@@ -1,0 +1,72 @@
+"""Unit tests for communication pipelining and call placement."""
+
+from repro import compile_program
+from repro.comm.pipelining import place_calls
+from repro.comm.planning import plan_naive
+from repro.comm.redundancy import remove_redundant
+
+
+def placements_of(body, pipelining=True):
+    src = f"""
+    program p;
+    config n : integer = 8;
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    direction east = [0, 1];
+    var A, B, C, D, E : [R] double;
+    procedure main(); begin {body} end;
+    """
+    prog = compile_program(src, "p.zl")
+    plan = plan_naive(prog.body[0])
+    remove_redundant(plan)
+    return place_calls(plan, pipelining)
+
+
+def test_unpipelined_calls_sit_at_first_use():
+    (p,) = placements_of("[R] A := 1.0; [R] B := 2.0; [In] C := A@east;", False)
+    assert (p.dr, p.sr, p.dn) == (2, 2, 2)
+
+
+def test_pipelined_send_hoists_to_ready_point():
+    (p,) = placements_of("[R] A := 1.0; [R] B := 2.0; [In] C := A@east;", True)
+    assert (p.dr, p.sr) == (1, 1)  # just after A's write
+    assert p.dn == 2
+
+
+def test_pipelined_send_hoists_to_block_top_when_never_written():
+    (p,) = placements_of("[R] B := 1.0; [R] C := 2.0; [In] D := A@east;", True)
+    assert p.sr == 0
+    assert p.dn == 2
+
+
+def test_sv_before_next_write_of_source():
+    (p,) = placements_of("[In] C := A@east; [In] A := C;", True)
+    assert p.sv == 1  # before the statement that overwrites A
+
+
+def test_sv_at_block_end_when_source_never_overwritten():
+    (p,) = placements_of("[In] C := A@east; [In] D := C;", True)
+    assert p.sv == 2  # == len(core)
+
+
+def test_dn_never_after_sv():
+    for pipelining in (False, True):
+        placements = placements_of(
+            "[In] C := A@east; [In] D := B@east; [In] A := C; [In] B := D;",
+            pipelining,
+        )
+        for p in placements:
+            assert p.sr <= p.dn <= p.sv
+
+
+def test_paper_figure1_pipelining_shape():
+    """Figure 1(d): send(B) right after B := f(); receive before use."""
+    placements = placements_of(
+        "[R] B := 1.0; [In] A := B@east; [In] C := B@east; [In] D := E@east;",
+        True,
+    )
+    by_array = {p.comm.arrays()[0]: p for p in placements}
+    assert by_array["B"].sr == 1  # hoisted to just after B := f()
+    assert by_array["B"].dn == 1  # first use
+    assert by_array["E"].sr == 0  # E never written: top of block
+    assert by_array["E"].dn == 3

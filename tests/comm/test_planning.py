@@ -1,0 +1,78 @@
+"""Unit tests for naive communication planning (the baseline)."""
+
+from repro import compile_program
+from repro.comm.planning import direction_communicates, plan_naive
+from repro.lang.regions import Direction
+
+
+def block_of(body, decls=""):
+    src = f"""
+    program p;
+    config n : integer = 8;
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    direction east = [0, 1];
+    direction west = [0, -1];
+    direction e2   = [0, 1];
+    var A, B, C : [R] double;
+    var s : double;
+    {decls}
+    procedure main(); begin {body} end;
+    """
+    return compile_program(src, "p.zl").body[0]
+
+
+class TestDirectionCommunicates:
+    def test_axis_shift_communicates(self):
+        assert direction_communicates(Direction("e", (0, 1)), 2)
+
+    def test_rank3_local_dim_shift_is_free(self):
+        assert not direction_communicates(Direction("z", (0, 0, 1)), 3)
+
+    def test_rank3_mixed_shift_communicates(self):
+        assert direction_communicates(Direction("xz", (1, 0, 1)), 3)
+
+    def test_rank1_shift(self):
+        assert direction_communicates(Direction("up", (1,)), 1)
+
+
+class TestPlanNaive:
+    def test_one_comm_per_reference_per_statement(self):
+        plan = plan_naive(block_of("[In] B := A@east; [In] C := A@east;"))
+        assert len(plan.comms) == 2  # naive: every statement re-communicates
+
+    def test_duplicate_reference_in_statement_planned_once(self):
+        plan = plan_naive(block_of("[In] B := A@east * A@east;"))
+        assert len(plan.comms) == 1
+
+    def test_same_offsets_different_name_planned_once_per_statement(self):
+        plan = plan_naive(block_of("[In] B := A@east + A@e2;"))
+        assert len(plan.comms) == 1
+
+    def test_ready_is_after_last_write(self):
+        plan = plan_naive(block_of("[R] A := 1.0; [In] B := A@east;"))
+        (comm,) = plan.comms
+        assert comm.ready == 1
+        assert comm.use == 1
+
+    def test_ready_zero_when_never_written(self):
+        plan = plan_naive(block_of("[R] B := 1.0; [In] B := A@east;"))
+        (comm,) = plan.comms
+        assert comm.ready == 0
+        assert comm.use == 1
+        assert comm.distance == 1
+
+    def test_plan_is_legal(self):
+        plan = plan_naive(
+            block_of("[R] A := 1.0; [In] B := A@east; [R] A := 2.0; [In] C := A@west;")
+        )
+        assert all(c.is_legal for c in plan.comms)
+
+    def test_use_region_recorded(self):
+        plan = plan_naive(block_of("[In] B := A@east;"))
+        (comm,) = plan.comms
+        assert comm.members[0].use_region.name == "In"
+
+    def test_scalar_reduce_operand_planned(self):
+        plan = plan_naive(block_of("[In] s := +<< (A@east - A);"))
+        assert len(plan.comms) == 1

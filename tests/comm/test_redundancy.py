@@ -1,0 +1,86 @@
+"""Unit tests for redundant communication removal."""
+
+from repro import compile_program
+from repro.comm.planning import plan_naive
+from repro.comm.redundancy import remove_redundant
+
+
+def plan_of(body):
+    src = f"""
+    program p;
+    config n : integer = 8;
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    region Top = [2..4, 2..n-1];
+    direction east = [0, 1];
+    direction west = [0, -1];
+    var A, B, C, D : [R] double;
+    procedure main(); begin {body} end;
+    """
+    prog = compile_program(src, "p.zl")
+    plan = plan_naive(prog.body[0])
+    removed = remove_redundant(plan)
+    return plan, removed
+
+
+def test_repeat_read_removed():
+    plan, removed = plan_of("[In] B := A@east; [In] C := A@east;")
+    assert removed == 1
+    assert len(plan.comms) == 1
+
+
+def test_write_between_blocks_removal():
+    plan, removed = plan_of(
+        "[In] B := A@east; [In] A := A * 2.0; [In] C := A@east;"
+    )
+    assert removed == 0
+    assert len(plan.comms) == 2
+
+
+def test_different_offsets_not_redundant():
+    plan, removed = plan_of("[In] B := A@east; [In] C := A@west;")
+    assert removed == 0
+
+
+def test_different_arrays_not_redundant():
+    plan, removed = plan_of("[In] C := A@east; [In] D := B@east;")
+    assert removed == 0
+
+
+def test_chain_of_reads_folds_to_one(etc=None):
+    plan, removed = plan_of(
+        "[In] B := A@east; [In] C := A@east; [In] D := A@east;"
+    )
+    assert removed == 2
+    assert len(plan.comms) == 1
+    assert plan.comms[0].members[0].all_uses == [0, 1, 2]
+
+
+def test_survivor_region_bounds_all_uses():
+    plan, removed = plan_of("[Top] B := A@east; [In] C := A@east;")
+    assert removed == 1
+    region = plan.comms[0].members[0].use_region
+    # bounding region of Top=[2..4,2..7] and In=[2..7,2..7]
+    assert (region.lows, region.highs) == ((2, 2), (7, 7))
+
+
+def test_removal_after_write_then_repeat():
+    plan, removed = plan_of(
+        "[In] B := A@east; [In] A := B; [In] C := A@east; [In] D := A@east;"
+    )
+    # first pair broken by the write; second pair folds
+    assert removed == 1
+    assert len(plan.comms) == 2
+
+
+def test_paper_figure1_example():
+    """Figure 1(b): the second communication of B is redundant."""
+    plan, removed = plan_of(
+        "[R] B := 1.0;"
+        "[In] A := B@east;"
+        "[In] C := B@east;"
+        "[In] D := A@east;"
+    )
+    assert removed == 1
+    arrays = [c.members[0].array for c in plan.comms]
+    assert arrays == ["B", "A"]

@@ -1,0 +1,230 @@
+"""Unit tests for the ZL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast, parse
+
+
+def parse_expr(text):
+    """Parse an expression by embedding it in a scalar assignment."""
+    prog = parse(
+        f"program p; var x : double; procedure main(); begin x := {text}; end;"
+    )
+    stmt = prog.procedures["main"].body[0]
+    assert isinstance(stmt, ast.Assign)
+    return stmt.value
+
+
+def parse_stmts(text):
+    prog = parse(f"program p; procedure main(); begin {text} end;")
+    return prog.procedures["main"].body
+
+
+MINIMAL = "program p; procedure main(); begin end;"
+
+
+class TestProgramStructure:
+    def test_minimal_program(self):
+        prog = parse(MINIMAL)
+        assert prog.name == "p"
+        assert prog.procedures["main"].body == []
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(ParseError, match="main"):
+            parse("program p; procedure other(); begin end;")
+
+    def test_duplicate_procedure_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse(
+                "program p; procedure main(); begin end; "
+                "procedure main(); begin end;"
+            )
+
+    def test_declarations_collected(self):
+        prog = parse(
+            """
+            program p;
+            config n : integer = 4;
+            region R = [1..n];
+            direction up = [-1];
+            var A : [R] double;
+            var s : double;
+            procedure main(); begin end;
+            """
+        )
+        assert [c.name for c in prog.configs] == ["n"]
+        assert [r.name for r in prog.regions] == ["R"]
+        assert [d.name for d in prog.directions] == ["up"]
+        assert len(prog.variables) == 2
+
+    def test_garbage_after_declarations(self):
+        with pytest.raises(ParseError):
+            parse(MINIMAL + " 42")
+
+
+class TestDeclarations:
+    def test_region_multi_dim(self):
+        prog = parse(
+            "program p; region R = [1..4, 0..n-1, 2..2]; "
+            "procedure main(); begin end;"
+        )
+        assert len(prog.regions[0].ranges) == 3
+
+    def test_direction_negative_offsets(self):
+        prog = parse(
+            "program p; direction nw = [-1, -1]; procedure main(); begin end;"
+        )
+        assert prog.directions[0].offsets == [-1, -1]
+
+    def test_direction_positive_sign_allowed(self):
+        prog = parse(
+            "program p; direction se = [+1, +1]; procedure main(); begin end;"
+        )
+        assert prog.directions[0].offsets == [1, 1]
+
+    def test_var_list_with_region(self):
+        prog = parse(
+            "program p; region R = [1..4]; var A, B, C : [R] double; "
+            "procedure main(); begin end;"
+        )
+        decl = prog.variables[0]
+        assert decl.names == ["A", "B", "C"]
+        assert decl.region == "R"
+
+    def test_scalar_var_without_region(self):
+        prog = parse("program p; var s, t : integer; procedure main(); begin end;")
+        assert prog.variables[0].region is None
+
+    def test_config_with_default(self):
+        prog = parse(
+            "program p; config n : integer = 2 * 8; procedure main(); begin end;"
+        )
+        assert isinstance(prog.configs[0].default, ast.BinOp)
+
+
+class TestStatements:
+    def test_assignment(self):
+        (stmt,) = parse_stmts("x := 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.target == "x"
+
+    def test_region_scoped_statement(self):
+        (stmt,) = parse_stmts("[R] x := 1;")
+        assert isinstance(stmt, ast.RegionScope)
+        assert stmt.region == "R"
+        assert isinstance(stmt.body[0], ast.Assign)
+
+    def test_region_scoped_block(self):
+        (stmt,) = parse_stmts("[R] begin x := 1; y := 2; end;")
+        assert isinstance(stmt, ast.RegionScope)
+        assert len(stmt.body) == 2
+
+    def test_for_loop(self):
+        (stmt,) = parse_stmts("for i := 1 to 10 do x := i; end;")
+        assert isinstance(stmt, ast.For)
+        assert stmt.var == "i"
+        assert stmt.step is None
+
+    def test_for_loop_with_step(self):
+        (stmt,) = parse_stmts("for i := 10 to 1 by -1 do x := i; end;")
+        assert isinstance(stmt.step, ast.UnOp)
+
+    def test_repeat_until(self):
+        (stmt,) = parse_stmts("repeat x := x + 1; until x > 4;")
+        assert isinstance(stmt, ast.Repeat)
+        assert isinstance(stmt.cond, ast.BinOp)
+
+    def test_if_then_end(self):
+        (stmt,) = parse_stmts("if x > 0 then y := 1; end;")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.arms) == 1
+        assert stmt.orelse == []
+
+    def test_if_elsif_else(self):
+        (stmt,) = parse_stmts(
+            "if a then x := 1; elsif b then x := 2; else x := 3; end;"
+        )
+        assert len(stmt.arms) == 2
+        assert len(stmt.orelse) == 1
+
+    def test_procedure_call(self):
+        (stmt,) = parse_stmts("init();")
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.proc == "init"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_stmts("x := 1")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.rhs, ast.BinOp) and e.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    def test_left_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-"
+        assert isinstance(e.lhs, ast.BinOp) and e.lhs.op == "-"
+
+    def test_unary_minus(self):
+        e = parse_expr("-a * b")
+        assert e.op == "*"
+        assert isinstance(e.lhs, ast.UnOp)
+
+    def test_power_right_associative(self):
+        e = parse_expr("a ^ b ^ c")
+        assert e.op == "^"
+        assert isinstance(e.rhs, ast.BinOp) and e.rhs.op == "^"
+
+    def test_relational(self):
+        e = parse_expr("a + 1 <= b")
+        assert e.op == "<="
+
+    def test_boolean_connectives(self):
+        e = parse_expr("a > 0 and not (b < 0) or c = 1")
+        assert e.op == "or"
+        assert e.lhs.op == "and"
+
+    def test_shift_reference(self):
+        e = parse_expr("A@east")
+        assert isinstance(e, ast.ShiftRef)
+        assert (e.array, e.direction) == ("A", "east")
+
+    def test_intrinsic_call(self):
+        e = parse_expr("max(a, b)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 2
+
+    def test_reduce_plus(self):
+        e = parse_expr("+<< A")
+        assert isinstance(e, ast.Reduce)
+        assert e.op == "+"
+
+    def test_reduce_max_with_operand(self):
+        e = parse_expr("max<< abs(A@east - A)")
+        assert isinstance(e, ast.Reduce)
+        assert e.op == "max"
+        assert isinstance(e.operand, ast.Call)
+
+    def test_reduce_inside_arithmetic(self):
+        e = parse_expr("0.5 * (+<< A)")
+        assert e.op == "*"
+        assert isinstance(e.rhs, ast.Reduce)
+
+    def test_literals(self):
+        assert isinstance(parse_expr("true"), ast.BoolLit)
+        assert isinstance(parse_expr("3"), ast.IntLit)
+        assert isinstance(parse_expr("3.5"), ast.FloatLit)
+
+    def test_error_reports_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_expr("1 + ;")
+        assert exc.value.location is not None

@@ -1,0 +1,200 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import analyze, parse
+
+
+def check(source, config=None):
+    return analyze(parse(source), config)
+
+
+def expect_error(source, match, config=None):
+    with pytest.raises(SemanticError, match=match):
+        check(source, config)
+
+
+PREAMBLE = """
+program p;
+config n : integer = 8;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+direction west = [0, -1];
+var A, B : [R] double;
+var s : double;
+"""
+
+
+def prog(body, decls=""):
+    return PREAMBLE + decls + f" procedure main(); begin {body} end;"
+
+
+class TestConfigs:
+    def test_default_used(self):
+        info = check(prog("[R] A := 0.0;"))
+        assert info.config_values["n"] == 8
+
+    def test_override_applies_to_regions(self):
+        info = check(prog("[R] A := 0.0;"), {"n": 32})
+        assert info.region("R").shape == (32, 32)
+
+    def test_override_unknown_name_rejected(self):
+        expect_error(prog("[R] A := 0.0;"), "undeclared", {"m": 4})
+
+    def test_config_depends_on_earlier_config(self):
+        src = """
+        program p;
+        config n : integer = 4;
+        config m : integer = n * 2;
+        region R = [1..m];
+        var A : [R] double;
+        procedure main(); begin [R] A := 1.0; end;
+        """
+        info = check(src)
+        assert info.config_values["m"] == 8
+
+    def test_non_integer_config_value_rejected(self):
+        src = "program p; config n : integer = 2.5; procedure main(); begin end;"
+        expect_error(src, "integer")
+
+    def test_assignment_to_config_rejected(self):
+        expect_error(prog("n := 9;"), "config")
+
+
+class TestRegionsAndDirections:
+    def test_empty_region_rejected(self):
+        src = "program p; region R = [5..2]; procedure main(); begin end;"
+        expect_error(src, "empty")
+
+    def test_zero_direction_rejected(self):
+        src = "program p; direction z = [0, 0]; procedure main(); begin end;"
+        expect_error(src, "zero")
+
+    def test_region_bounds_must_be_constant(self):
+        src = (
+            "program p; var s : double; region R = [1..s];"
+            " procedure main(); begin end;"
+        )
+        expect_error(src, "constant|config")
+
+    def test_duplicate_names_across_namespaces(self):
+        src = (
+            "program p; region R = [1..4]; direction R = [1];"
+            " procedure main(); begin end;"
+        )
+        expect_error(src, "duplicate")
+
+
+class TestArrayStatements:
+    def test_array_statement_requires_region_scope(self):
+        expect_error(prog("A := 0.0;"), "region scope")
+
+    def test_scope_must_fit_array_domain(self):
+        decls = "region Big = [0..n+1, 0..n+1];"
+        expect_error(prog("[Big] A := 0.0;", decls), "not contained")
+
+    def test_shift_escaping_domain_rejected(self):
+        # reading A@east over all of R touches column n+1
+        expect_error(prog("[R] B := A@east;"), "outside the array's domain")
+
+    def test_shift_within_domain_accepted(self):
+        check(prog("[In] B := A@east;"))
+
+    def test_rank_mismatch_between_scope_and_array(self):
+        decls = "region L = [1..n]; var V : [L] double;"
+        expect_error(prog("[R] V := 0.0;", decls), "rank")
+
+    def test_direction_rank_must_match_array(self):
+        decls = "direction up3 = [1, 0, 0];"
+        expect_error(prog("[In] B := A@up3;", decls), "rank")
+
+    def test_undeclared_direction(self):
+        expect_error(prog("[In] B := A@nowhere;"), "undeclared direction")
+
+    def test_undeclared_array_in_shift(self):
+        expect_error(prog("[In] B := Z@east;"), "undeclared array")
+
+    def test_index_builtin_rank_checked(self):
+        decls = "region L = [1..n]; var V : [L] double;"
+        expect_error(prog("[L] V := index2;", decls), "rank-1")
+
+    def test_index_builtin_accepted(self):
+        check(prog("[R] A := index1 + index2;"))
+
+    def test_reduce_inside_array_statement_rejected(self):
+        expect_error(prog("[R] A := +<< B;"), "reductions are not allowed")
+
+
+class TestScalarStatements:
+    def test_array_in_scalar_context_rejected(self):
+        expect_error(prog("s := A;"), "scalar context")
+
+    def test_shift_in_scalar_context_rejected(self):
+        expect_error(prog("s := A@east;"), "scalar context|shifted")
+
+    def test_reduce_needs_region_scope(self):
+        expect_error(prog("s := +<< A;"), "region scope")
+
+    def test_reduce_with_scope_accepted(self):
+        check(prog("[R] s := +<< A;"))
+
+    def test_reduce_operand_with_shift_accepted(self):
+        check(prog("[In] s := max<< abs(A@east - A);"))
+
+    def test_assignment_to_region_rejected(self):
+        expect_error(prog("R := 1.0;"), "cannot assign")
+
+    def test_unknown_function_rejected(self):
+        expect_error(prog("s := frobnicate(1.0);"), "unknown function")
+
+    def test_wrong_arity_rejected(self):
+        expect_error(prog("s := sqrt(1.0, 2.0);"), "arguments")
+
+
+class TestProceduresAndLoops:
+    def test_recursion_rejected(self):
+        src = (
+            "program p; procedure main(); begin other(); end; "
+            "procedure other(); begin main(); end;"
+        )
+        expect_error(src, "recursive")
+
+    def test_call_to_undeclared_procedure(self):
+        expect_error(prog("nothere();"), "undeclared procedure")
+
+    def test_loop_variable_usable_in_body(self):
+        check(prog("for i := 1 to 4 do s := i * 2.0; end;"))
+
+    def test_loop_variable_shadowing_rejected(self):
+        expect_error(prog("for s := 1 to 4 do A := 0.0; end;"), "shadows")
+
+    def test_nested_loop_same_variable_rejected(self):
+        expect_error(
+            prog("for i := 1 to 2 do for i := 1 to 2 do s := 1.0; end; end;"),
+            "shadows",
+        )
+
+    def test_loop_variable_out_of_scope_after_loop(self):
+        expect_error(
+            prog("for i := 1 to 2 do s := 1.0; end; s := i;"), "undeclared"
+        )
+
+
+class TestFluffWidths:
+    def test_fluff_tracks_max_offset(self):
+        src = PREAMBLE + (
+            "direction far = [0, 2]; region In2 = [1..n, 1..n-2]; "
+            "procedure main(); begin "
+            "[In] B := A@east; "
+            "[In2] B := A@far; end;"
+        )
+        info = check(src)
+        assert info.fluff_widths["A"] == (0, 2)
+        assert info.fluff_widths["B"] == (0, 0)
+
+    def test_shift_uses_recorded_unique(self):
+        info = check(prog("[In] B := A@east + A@east - A@west;"))
+        assert ("A", "east") in info.shift_uses
+        assert info.shift_uses.count(("A", "east")) == 1

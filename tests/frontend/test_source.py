@@ -1,0 +1,32 @@
+"""Unit tests for source bookkeeping."""
+
+from repro.frontend.source import SourceFile, SourceLocation, UNKNOWN_LOCATION
+
+
+def test_location_renders_file_line_col():
+    loc = SourceLocation("prog.zl", 3, 7)
+    assert str(loc) == "prog.zl:3:7"
+
+
+def test_unknown_location_is_harmless():
+    assert UNKNOWN_LOCATION.line == 0
+
+
+def test_line_text():
+    src = SourceFile("first\nsecond\nthird", "f.zl")
+    assert src.line_text(2) == "second"
+    assert src.line_text(99) == ""
+    assert src.line_text(0) == ""
+
+
+def test_snippet_has_caret_at_column():
+    src = SourceFile("abcdef", "f.zl")
+    snippet = src.snippet(src.location(1, 3))
+    line, caret = snippet.splitlines()
+    assert line == "abcdef"
+    assert caret.index("^") == 2
+
+
+def test_location_factory_uses_filename():
+    src = SourceFile("x", "name.zl")
+    assert src.location(1, 1).filename == "name.zl"

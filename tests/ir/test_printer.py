@@ -1,0 +1,103 @@
+"""Unit tests for the pseudo-C printer."""
+
+from repro import OptimizationConfig, compile_program, emit_c
+
+SRC = """
+program demo;
+config n : integer = 8;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+var A, B : [R] double;
+var s : double;
+procedure main();
+begin
+  [R] A := index1 + 2.0;
+  for i := 1 to 4 do
+    [In] B := A@east * 0.5;
+  end;
+  [In] s := max<< abs(B);
+  if s > 1.0 then
+    [R] B := B / s;
+  end;
+end;
+"""
+
+
+def test_emits_loop_nests_for_array_statements():
+    emitted = emit_c(compile_program(SRC, "demo.zl"))
+    assert "for (_i1 = 1; _i1 <= 8; _i1++)" in emitted.text
+    assert "A[_i1][_i2]" in emitted.text
+
+
+def test_shifted_reference_offsets_in_subscripts():
+    emitted = emit_c(compile_program(SRC, "demo.zl"))
+    assert "A[_i1][_i2+1]" in emitted.text
+
+
+def test_control_flow_rendered():
+    emitted = emit_c(compile_program(SRC, "demo.zl"))
+    assert "for (i = 1; i <= 4; i += 1)" in emitted.text
+    assert "if ((s > 1.0))" in emitted.text
+
+
+def test_comm_lines_zero_without_optimization():
+    emitted = emit_c(compile_program(SRC, "demo.zl"))
+    assert emitted.comm_lines == 0
+    assert emitted.lines_excluding_comm == emitted.total_lines
+
+
+def test_comm_calls_emitted_and_counted():
+    prog = compile_program(SRC, "demo.zl", opt=OptimizationConfig.full())
+    emitted = emit_c(prog)
+    assert emitted.comm_lines == 4  # DR, SR, DN, SV for the one transfer
+    assert "SR(A, east);" in emitted.text
+    assert emitted.lines_excluding_comm == emitted.total_lines - 4
+
+
+def test_lines_excluding_comm_invariant_across_configs():
+    """The Figure 7 metric must not depend on the optimization level."""
+    base = emit_c(compile_program(SRC, "demo.zl", opt=OptimizationConfig.baseline()))
+    full = emit_c(compile_program(SRC, "demo.zl", opt=OptimizationConfig.full()))
+    assert base.lines_excluding_comm == full.lines_excluding_comm
+
+
+def test_declarations_include_fluff():
+    emitted = emit_c(compile_program(SRC, "demo.zl"))
+    # A is shifted east (fluff width 1 in dim 2): 8 + 2*1 = 10
+    assert "static double A[8][10];" in emitted.text
+    assert "static double B[8][8];" in emitted.text
+
+
+def test_reduction_rendered():
+    emitted = emit_c(compile_program(SRC, "demo.zl"))
+    assert "ZL_REDUCE_MAX" in emitted.text
+
+
+def test_wrap_subscripts_rendered_with_wrap_macro():
+    src = """
+    program w;
+    config n : integer = 8;
+    region R = [1..n, 1..n];
+    direction east = [0, 1];
+    var A, B : [R] double;
+    procedure main();
+    begin
+      [R] A := index2;
+      [R] B := A@@east;
+    end;
+    """
+    emitted = emit_c(compile_program(src, "w.zl"))
+    assert "A[_i1][ZL_WRAP(_i2+1)]" in emitted.text
+
+
+def test_power_operator_rendered():
+    src = """
+    program p;
+    config n : integer = 4;
+    region R = [1..n];
+    var A : [R] double;
+    procedure main(); begin [R] A := A ^ 2.0; end;
+    """
+    emitted = emit_c(compile_program(src, "p.zl"))
+    assert "**" in emitted.text or "pow" in emitted.text

@@ -1,0 +1,122 @@
+"""Unit tests for the region/direction algebra."""
+
+import pytest
+
+from repro.lang.regions import Direction, Region, bounding_region
+
+
+class TestDirection:
+    def test_offsets_coerced_to_int_tuple(self):
+        d = Direction("d", [0.0, 1.0])
+        assert d.offsets == (0, 1)
+        assert isinstance(d.offsets, tuple)
+
+    def test_rank(self):
+        assert Direction("d", (1, -1, 0)).rank == 3
+
+    def test_is_zero(self):
+        assert Direction("z", (0, 0)).is_zero
+        assert not Direction("e", (0, 1)).is_zero
+
+    def test_negated(self):
+        d = Direction("ne", (-1, 1)).negated()
+        assert d.offsets == (1, -1)
+
+    def test_sign(self):
+        assert Direction("d", (-3, 0, 2)).sign() == (-1, 0, 1)
+
+    def test_str_mentions_name_and_offsets(self):
+        assert "east" in str(Direction("east", (0, 1)))
+
+
+class TestRegionBasics:
+    def test_shape_and_size(self):
+        r = Region("r", (1, 1), (4, 8))
+        assert r.shape == (4, 8)
+        assert r.size == 32
+
+    def test_empty_region(self):
+        r = Region("r", (5,), (4,))
+        assert r.is_empty
+        assert r.size == 0
+        assert r.shape == (0,)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", (1, 1), (4,))
+
+    def test_bounds_iteration(self):
+        r = Region("r", (2, 3), (5, 7))
+        assert list(r.bounds()) == [(2, 5), (3, 7)]
+
+    def test_str(self):
+        assert str(Region("r", (1, 2), (3, 4))) == "[1..3, 2..4]"
+
+
+class TestRegionAlgebra:
+    def test_shift_moves_bounds(self):
+        r = Region("r", (2, 2), (5, 5))
+        s = r.shifted(Direction("se", (1, 1)))
+        assert (s.lows, s.highs) == ((3, 3), (6, 6))
+
+    def test_shift_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Region("r", (1,), (4,)).shifted(Direction("d", (0, 1)))
+
+    def test_intersect_overlapping(self):
+        a = Region("a", (1, 1), (4, 4))
+        b = Region("b", (3, 0), (6, 2))
+        c = a.intersect(b)
+        assert (c.lows, c.highs) == ((3, 1), (4, 2))
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Region("a", (1,), (2,))
+        b = Region("b", (5,), (9,))
+        assert a.intersect(b).is_empty
+
+    def test_contains(self):
+        outer = Region("o", (1, 1), (8, 8))
+        inner = Region("i", (2, 2), (7, 7))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_empty_contained_in_anything(self):
+        empty = Region("e", (5, 5), (4, 4))
+        tiny = Region("t", (1, 1), (1, 1))
+        assert tiny.contains(empty)
+
+    def test_contains_index(self):
+        r = Region("r", (1, 1), (3, 3))
+        assert r.contains_index((2, 3))
+        assert not r.contains_index((0, 2))
+
+    def test_expanded(self):
+        r = Region("r", (2, 2), (5, 5)).expanded(1)
+        assert (r.lows, r.highs) == ((1, 1), (6, 6))
+
+    def test_slices_within(self):
+        r = Region("r", (3, 4), (5, 6))
+        assert r.slices_within((1, 1)) == (slice(2, 5), slice(3, 6))
+
+
+class TestBoundingRegion:
+    def test_bounding_of_two(self):
+        a = Region("a", (1, 5), (4, 9))
+        b = Region("b", (2, 1), (6, 3))
+        c = bounding_region("c", [a, b])
+        assert (c.lows, c.highs) == ((1, 1), (6, 9))
+
+    def test_bounding_skips_empty(self):
+        a = Region("a", (1,), (4,))
+        empty = Region("e", (9,), (3,))
+        c = bounding_region("c", [a, empty])
+        assert (c.lows, c.highs) == ((1,), (4,))
+
+    def test_bounding_of_nothing_is_none(self):
+        assert bounding_region("c", []) is None
+
+    def test_bounding_mixed_rank_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_region(
+                "c", [Region("a", (1,), (2,)), Region("b", (1, 1), (2, 2))]
+            )

@@ -1,0 +1,49 @@
+"""Unit tests for ZL scalar types."""
+
+import numpy as np
+import pytest
+
+from repro.lang.types import BOOLEAN, DOUBLE, INTEGER, join, type_by_name
+
+
+def test_lookup_by_name():
+    assert type_by_name("double") is DOUBLE
+    assert type_by_name("integer") is INTEGER
+    assert type_by_name("boolean") is BOOLEAN
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        type_by_name("float128")
+
+
+def test_dtypes():
+    assert DOUBLE.dtype == np.dtype(np.float64)
+    assert INTEGER.dtype == np.dtype(np.int64)
+
+
+def test_sizes_in_bytes():
+    assert DOUBLE.size_bytes == 8
+    assert INTEGER.size_bytes == 8
+    assert BOOLEAN.size_bytes == 1
+
+
+def test_is_numeric():
+    assert DOUBLE.is_numeric
+    assert INTEGER.is_numeric
+    assert not BOOLEAN.is_numeric
+
+
+def test_join_promotes_to_double():
+    assert join(INTEGER, DOUBLE) is DOUBLE
+    assert join(DOUBLE, INTEGER) is DOUBLE
+    assert join(DOUBLE, DOUBLE) is DOUBLE
+
+
+def test_join_integers_stay_integer():
+    assert join(INTEGER, INTEGER) is INTEGER
+
+
+def test_join_boolean_rejected():
+    with pytest.raises(TypeError):
+        join(BOOLEAN, DOUBLE)

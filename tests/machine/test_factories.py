@@ -1,0 +1,99 @@
+"""Tests for the Paragon/T3D factories: the Figure 3/6 relationships the
+cost models are calibrated to preserve."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import machine_by_name, paragon, t3d
+from repro.machine.factories import KNEE_BYTES, square_ish_grid
+
+
+class TestGridFactorization:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (16, (4, 4)), (64, (8, 8)),
+         (12, (3, 4)), (7, (1, 7))],
+    )
+    def test_square_ish(self, n, expected):
+        assert square_ish_grid(n) == expected
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(MachineError):
+            square_ish_grid(0)
+
+
+class TestFigure3:
+    def test_paragon_parameters(self):
+        m = paragon(2)
+        assert m.clock_mhz == 50.0
+        assert m.timer_granularity == pytest.approx(100e-9)
+        assert m.library == "nx"
+
+    def test_t3d_parameters(self):
+        m = t3d(64)
+        assert m.clock_mhz == 150.0
+        assert m.timer_granularity == pytest.approx(150e-9)
+        assert m.grid_shape == (8, 8)
+
+    def test_paragon_library_validation(self):
+        with pytest.raises(MachineError):
+            paragon(2, "pvm")
+
+    def test_t3d_library_validation(self):
+        with pytest.raises(MachineError):
+            t3d(64, "nx")
+
+    def test_machine_by_name(self):
+        assert machine_by_name("t3d", 16, "shmem").library == "shmem"
+        assert machine_by_name("Paragon").name == "Intel Paragon"
+        with pytest.raises(MachineError):
+            machine_by_name("cm5")
+
+
+class TestFigure6Shapes:
+    """The qualitative relationships the paper measures in Figure 6."""
+
+    def test_knee_at_512_doubles(self):
+        assert KNEE_BYTES == 512 * 8
+        m = t3d(2, "pvm")
+        assert m.exposed_overhead(512 * 8) == m.exposed_overhead(8)
+        assert m.exposed_overhead(1024 * 8) > m.exposed_overhead(512 * 8)
+
+    def test_shmem_overhead_below_pvm(self):
+        pvm = t3d(2, "pvm").exposed_overhead(1024)
+        shmem = t3d(2, "shmem").exposed_overhead(1024)
+        assert shmem < pvm
+        # "about 10% less" as *measured* (the measured curve adds the
+        # readiness-flag transit; see the synthetic-benchmark tests) —
+        # the bare call-cost ratio sits a little lower
+        assert 0.70 <= shmem / pvm <= 0.95
+
+    def test_async_nx_no_better_than_csend(self):
+        csend = paragon(2, "nx").exposed_overhead(1024)
+        async_ = paragon(2, "nx_async").exposed_overhead(1024)
+        assert async_ >= csend
+
+    def test_callback_nx_worse_than_csend(self):
+        csend = paragon(2, "nx").exposed_overhead(1024)
+        callback = paragon(2, "nx_callback").exposed_overhead(1024)
+        assert callback > csend * 1.3
+
+    def test_paragon_overheads_dwarf_t3d(self):
+        assert paragon(2, "nx").exposed_overhead(8) > 2 * t3d(
+            2, "pvm"
+        ).exposed_overhead(8)
+
+    def test_combining_below_knee_always_wins(self):
+        m = t3d(2, "pvm")
+        for size in (256, 1024, 2048):
+            assert m.exposed_overhead(2 * size) < 2 * m.exposed_overhead(size)
+
+    def test_combining_beyond_knee_roughly_neutral(self):
+        m = t3d(2, "pvm")
+        two = 2 * m.exposed_overhead(8192)
+        one = m.exposed_overhead(16384)
+        assert one == pytest.approx(two, rel=0.25)
+
+    def test_t3d_raw_latency_much_lower_than_pvm_transit(self):
+        m = t3d(2, "shmem")
+        assert m.network.raw < m.network.latency / 3

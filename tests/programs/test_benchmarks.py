@@ -1,0 +1,160 @@
+"""Tests for the four whole-program benchmarks.
+
+Every benchmark, under every optimization configuration and both T3D
+libraries, must produce numerics identical to the sequential reference —
+the load-bearing correctness property of the whole reproduction — and
+must exhibit the count structure the paper's tables are built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExecutionMode, OptimizationConfig, reference_run, simulate, t3d
+from repro.programs import BENCHMARKS, build_benchmark, small_config
+
+CONFIGS = {
+    "baseline": OptimizationConfig.baseline(),
+    "rr": OptimizationConfig.rr_only(),
+    "cc": OptimizationConfig.rr_cc(),
+    "pl": OptimizationConfig.full(),
+    "pl_maxlat": OptimizationConfig.full_max_latency(),
+}
+
+#: representative arrays to compare per benchmark
+CHECK_ARRAYS = {
+    "tomcatv": ("X", "Y", "RX", "RY"),
+    "swm": ("P", "U", "V"),
+    "simple": ("E", "P", "T", "RXc"),
+    "sp": ("U1", "U3", "U5", "R1"),
+}
+
+
+@pytest.fixture(scope="module")
+def references():
+    return {
+        name: reference_run(build_benchmark(name, config=small_config(name)))
+        for name in BENCHMARKS
+    }
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+@pytest.mark.parametrize("key", list(CONFIGS))
+@pytest.mark.parametrize("lib", ["pvm", "shmem"])
+def test_numerics_match_reference(bench, key, lib, references):
+    prog = build_benchmark(bench, config=small_config(bench), opt=CONFIGS[key])
+    res = simulate(prog, t3d(16, lib), ExecutionMode.NUMERIC)
+    ref = references[bench]
+    for array in CHECK_ARRAYS[bench]:
+        assert np.allclose(
+            res.array(array), ref.array(array), rtol=1e-10, atol=1e-10
+        ), f"{bench}/{key}/{lib}: array {array} diverged"
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_static_count_progression(bench):
+    """baseline >= rr >= maxlat >= cc, with strict gains at each paper-
+    relevant step."""
+    counts = {}
+    for key in ("baseline", "rr", "cc", "pl", "pl_maxlat"):
+        prog = build_benchmark(bench, config=small_config(bench), opt=CONFIGS[key])
+        counts[key] = len(prog.all_descriptors())
+    assert counts["baseline"] > counts["rr"] > counts["cc"]
+    assert counts["pl"] == counts["cc"]
+    assert counts["cc"] <= counts["pl_maxlat"] <= counts["rr"]
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_dynamic_count_progression(bench):
+    dyn = {}
+    for key in ("baseline", "rr", "cc", "pl_maxlat"):
+        prog = build_benchmark(bench, config=small_config(bench), opt=CONFIGS[key])
+        dyn[key] = simulate(
+            prog, t3d(16), ExecutionMode.TIMING
+        ).dynamic_comm_count
+    assert dyn["baseline"] >= dyn["rr"] >= dyn["pl_maxlat"] >= dyn["cc"]
+    assert dyn["baseline"] > dyn["cc"]
+
+
+class TestTomcatvStructure:
+    def test_maxlat_combines_nothing(self):
+        """The paper's Table 1: pl-with-max-latency counts equal rr's."""
+        rr = build_benchmark(
+            "tomcatv", config=small_config("tomcatv"), opt=CONFIGS["rr"]
+        )
+        ml = build_benchmark(
+            "tomcatv", config=small_config("tomcatv"), opt=CONFIGS["pl_maxlat"]
+        )
+        assert len(ml.all_descriptors()) == len(rr.all_descriptors())
+
+    def test_paper_scale_counts(self):
+        """At paper scale the engineered per-iteration ratios hold:
+        rr/baseline ~ 0.97 and cc/baseline ~ 1/3 (Table 1: 0.970, 0.327)."""
+        base = simulate(
+            build_benchmark("tomcatv", opt=CONFIGS["baseline"]),
+            t3d(64),
+            ExecutionMode.TIMING,
+        ).dynamic_comm_count
+        rr = simulate(
+            build_benchmark("tomcatv", opt=CONFIGS["rr"]),
+            t3d(64),
+            ExecutionMode.TIMING,
+        ).dynamic_comm_count
+        cc = simulate(
+            build_benchmark("tomcatv", opt=CONFIGS["cc"]),
+            t3d(64),
+            ExecutionMode.TIMING,
+        ).dynamic_comm_count
+        assert rr / base == pytest.approx(0.97, abs=0.01)
+        assert cc / base == pytest.approx(1 / 3, abs=0.02)
+
+
+class TestSwmStructure:
+    def test_maxlat_keeps_every_combination(self):
+        """The paper's Table 2: max-latency counts equal max-combining's."""
+        cc = build_benchmark("swm", config=small_config("swm"), opt=CONFIGS["cc"])
+        ml = build_benchmark(
+            "swm", config=small_config("swm"), opt=CONFIGS["pl_maxlat"]
+        )
+        assert len(ml.all_descriptors()) == len(cc.all_descriptors())
+
+
+class TestSimpleStructure:
+    def test_maxlat_strictly_between(self):
+        """The paper's Table 3: max-latency sits strictly between rr and
+        cc, statically and dynamically."""
+        cfg = small_config("simple")
+        counts = {}
+        for key in ("rr", "cc", "pl_maxlat"):
+            prog = build_benchmark("simple", config=cfg, opt=CONFIGS[key])
+            counts[key] = len(prog.all_descriptors())
+        assert counts["cc"] < counts["pl_maxlat"] < counts["rr"]
+
+
+class TestSpStructure:
+    def test_z_sweeps_generate_no_communication(self):
+        """SP's defining property on a 2-D mesh: the local third dimension
+        never communicates."""
+        prog = build_benchmark("sp", config=small_config("sp"), opt=CONFIGS["baseline"])
+        for desc in prog.all_descriptors():
+            offsets = desc.direction.offsets
+            assert offsets[0] != 0 or offsets[1] != 0
+
+    def test_maxlat_runs_for_sp(self):
+        """The paper could not run SP under max-latency (library bug);
+        the reproduction can."""
+        prog = build_benchmark("sp", config=small_config("sp"), opt=CONFIGS["pl_maxlat"])
+        res = simulate(prog, t3d(16), ExecutionMode.TIMING)
+        assert res.time > 0
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_shmem_direction_matches_paper(bench):
+    """Figure 10(b): SHMEM helps SWM and SIMPLE, hurts TOMCATV and SP.
+    Checked at paper scale (the structural property needs the full mesh)."""
+    prog = build_benchmark(bench, opt=CONFIGS["pl"])
+    t_pvm = simulate(prog, t3d(64, "pvm"), ExecutionMode.TIMING).time
+    t_shm = simulate(prog, t3d(64, "shmem"), ExecutionMode.TIMING).time
+    if bench in ("swm", "simple"):
+        assert t_shm < t_pvm
+    else:
+        assert t_shm > t_pvm

@@ -1,0 +1,52 @@
+"""Tests for the benchmark registry and program metadata."""
+
+import pytest
+
+from repro import OptimizationConfig, emit_c
+from repro.errors import ExperimentError
+from repro.programs import (
+    BENCHMARKS,
+    benchmark_source,
+    build_benchmark,
+    small_config,
+)
+from repro.programs.registry import default_config
+
+
+def test_benchmarks_in_figure7_order():
+    assert BENCHMARKS == ("tomcatv", "swm", "simple", "sp")
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ExperimentError, match="valid"):
+        build_benchmark("linpack")
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_source_is_self_titled(name):
+    source = benchmark_source(name)
+    assert f"program {name}" in source
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_small_config_is_reduced(name):
+    small = small_config(name)
+    full = default_config(name)
+    assert set(small) == set(full)
+    assert all(small[k] <= full[k] for k in small)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_small_config_compiles_and_emits(name):
+    prog = build_benchmark(
+        name, config=small_config(name), opt=OptimizationConfig.full()
+    )
+    emitted = emit_c(prog)
+    assert emitted.total_lines > 50
+    assert emitted.comm_lines > 0
+
+
+def test_config_overrides_merge_with_defaults():
+    prog = build_benchmark("swm", config={"nsteps": 5})
+    assert prog.config_values["nsteps"] == 5
+    assert prog.config_values["n"] == default_config("swm")["n"]

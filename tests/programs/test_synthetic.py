@@ -1,0 +1,82 @@
+"""Tests for the synthetic overhead benchmark (Figure 6)."""
+
+import pytest
+
+from repro.machine import paragon, t3d
+from repro.programs.synthetic import (
+    analytic_overhead,
+    measured_overhead,
+    ping_source,
+)
+
+
+class TestPingProgram:
+    def test_generated_source_compiles_and_moves_right_bytes(self):
+        from repro import ExecutionMode, OptimizationConfig, compile_program, simulate
+
+        prog = compile_program(
+            ping_source(64, 512, 10, with_comm=True),
+            "ping.zl",
+            opt=OptimizationConfig.full(),
+        )
+        res = simulate(prog, t3d(2, "pvm"), ExecutionMode.TIMING)
+        # 10 reps x 2 transfers x 64 doubles x 8 bytes
+        assert res.instrument.total_bytes == 10 * 2 * 64 * 8
+
+    def test_control_program_has_no_communication(self):
+        from repro import ExecutionMode, OptimizationConfig, compile_program, simulate
+
+        prog = compile_program(
+            ping_source(64, 512, 10, with_comm=False),
+            "ping.zl",
+            opt=OptimizationConfig.full(),
+        )
+        res = simulate(prog, t3d(2, "pvm"), ExecutionMode.TIMING)
+        assert res.dynamic_comm_count == 0
+
+
+class TestMeasuredMatchesAnalytic:
+    @pytest.mark.parametrize(
+        "factory,lib",
+        [
+            (t3d, "pvm"),
+            (paragon, "nx"),
+            (paragon, "nx_async"),
+            (paragon, "nx_callback"),
+        ],
+    )
+    def test_message_passing_exact(self, factory, lib):
+        sizes = (8, 512, 2048)
+        measured = measured_overhead(factory, lib, sizes, reps=100)
+        analytic = analytic_overhead(factory, lib, sizes)
+        for m, a in zip(measured, analytic):
+            assert m.exposed_seconds == pytest.approx(a.exposed_seconds, rel=0.02)
+
+    def test_shmem_close_with_flag_transit(self):
+        # the measured shmem curve adds the raw-latency flag transit
+        sizes = (8, 2048)
+        measured = measured_overhead(t3d, "shmem", sizes, reps=100)
+        analytic = analytic_overhead(t3d, "shmem", sizes)
+        raw = t3d(2, "shmem").network.raw
+        for m, a in zip(measured, analytic):
+            assert m.exposed_seconds == pytest.approx(
+                a.exposed_seconds + raw, rel=0.05
+            )
+
+
+class TestFigure6Properties:
+    def test_knee_in_measured_curve(self):
+        points = measured_overhead(t3d, "pvm", (128, 512, 1024), reps=100)
+        assert points[0].exposed_seconds == pytest.approx(
+            points[1].exposed_seconds, rel=1e-6
+        )
+        assert points[2].exposed_seconds > points[1].exposed_seconds
+
+    def test_shmem_below_pvm_at_small_sizes(self):
+        pvm = measured_overhead(t3d, "pvm", (64,), reps=100)[0]
+        shm = measured_overhead(t3d, "shmem", (64,), reps=100)[0]
+        assert shm.exposed_seconds < pvm.exposed_seconds
+        # "about 10% less"
+        assert shm.exposed_seconds / pvm.exposed_seconds == pytest.approx(
+            0.9, abs=0.05
+        )

@@ -1,0 +1,97 @@
+"""Property-based tests for the region algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.regions import Direction, Region, bounding_region
+
+dims = st.integers(min_value=1, max_value=3)
+
+
+@st.composite
+def regions(draw, rank=None):
+    r = rank if rank is not None else draw(dims)
+    lows, highs = [], []
+    for _ in range(r):
+        lo = draw(st.integers(min_value=-20, max_value=20))
+        hi = draw(st.integers(min_value=lo, max_value=lo + 25))
+        lows.append(lo)
+        highs.append(hi)
+    return Region("r", tuple(lows), tuple(highs))
+
+
+@st.composite
+def directions(draw, rank):
+    offsets = tuple(
+        draw(st.integers(min_value=-3, max_value=3)) for _ in range(rank)
+    )
+    return Direction("d", offsets)
+
+
+@given(regions())
+def test_size_is_product_of_extents(r):
+    prod = 1
+    for e in r.shape:
+        prod *= e
+    assert r.size == prod
+
+
+@given(st.data())
+def test_shift_preserves_size(data):
+    r = data.draw(regions())
+    d = data.draw(directions(r.rank))
+    assert r.shifted(d).size == r.size
+
+
+@given(st.data())
+def test_shift_roundtrip(data):
+    r = data.draw(regions())
+    d = data.draw(directions(r.rank))
+    back = r.shifted(d).shifted(d.negated())
+    assert (back.lows, back.highs) == (r.lows, r.highs)
+
+
+@given(st.data())
+def test_intersection_commutative_and_contained(data):
+    rank = data.draw(dims)
+    a = data.draw(regions(rank))
+    b = data.draw(regions(rank))
+    ab = a.intersect(b)
+    ba = b.intersect(a)
+    assert (ab.lows, ab.highs) == (ba.lows, ba.highs)
+    if not ab.is_empty:
+        assert a.contains(ab) and b.contains(ab)
+
+
+@given(st.data())
+def test_intersection_idempotent(data):
+    a = data.draw(regions())
+    aa = a.intersect(a)
+    assert (aa.lows, aa.highs) == (a.lows, a.highs)
+
+
+@given(st.data())
+def test_bounding_contains_all(data):
+    rank = data.draw(dims)
+    rs = [data.draw(regions(rank)) for _ in range(data.draw(st.integers(1, 4)))]
+    bound = bounding_region("b", rs)
+    for r in rs:
+        assert bound.contains(r)
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_expanded_contains_original(data):
+    r = data.draw(regions())
+    w = data.draw(st.integers(min_value=0, max_value=3))
+    assert r.expanded(w).contains(r)
+
+
+@given(st.data())
+def test_contains_transitive(data):
+    rank = data.draw(dims)
+    a = data.draw(regions(rank))
+    b = data.draw(regions(rank))
+    c = data.draw(regions(rank))
+    if a.contains(b) and b.contains(c):
+        assert a.contains(c)

@@ -1,0 +1,88 @@
+"""Property-based tests of the runtime substrate (layout + timing)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionMode, OptimizationConfig, compile_program, simulate, t3d
+from repro.lang.regions import Region
+from repro.runtime.grid import ProcessorGrid
+from repro.runtime.layout import ProblemLayout, split_extent
+
+
+@given(
+    lo=st.integers(-50, 50),
+    size=st.integers(0, 200),
+    parts=st.integers(1, 16),
+)
+def test_split_extent_partitions_exactly(lo, size, parts):
+    hi = lo + size - 1
+    pieces = split_extent(lo, hi, parts)
+    assert len(pieces) == parts
+    total = sum(max(0, h - l + 1) for l, h in pieces)
+    assert total == max(0, size)
+    # contiguous and ordered
+    cursor = lo
+    for l, h in pieces:
+        if h >= l:
+            assert l == cursor
+            cursor = h + 1
+    # balanced: sizes differ by at most one
+    sizes = [max(0, h - l + 1) for l, h in pieces]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    n=st.integers(4, 24),
+)
+@settings(max_examples=60)
+def test_every_cell_has_exactly_one_owner(rows, cols, n):
+    grid = ProcessorGrid(rows, cols)
+    domain = Region("R", (1, 1), (n, n))
+    layout = ProblemLayout(grid, {"A": domain})
+    covered = np.zeros((n, n), dtype=int)
+    for p in grid.ranks():
+        owned = layout.owned(2, p).intersect(domain)
+        if not owned.is_empty:
+            covered[owned.slices_within(domain.lows)] += 1
+    assert (covered == 1).all()
+
+
+_SRC = """
+program p;
+config n : integer = 12;
+config k : integer = 2;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+direction south = [1, 0];
+var A, B : [R] double;
+procedure main();
+begin
+  [R] A := index1 + 0.3 * index2;
+  for t := 1 to k do
+    [In] B := A@east + A@south;
+    [In] A := A * 0.75 + B * 0.125;
+  end;
+end;
+"""
+
+
+@given(nprocs=st.sampled_from([1, 2, 4, 9, 16]))
+@settings(max_examples=10, deadline=None)
+def test_numerics_independent_of_mesh(nprocs):
+    prog = compile_program(_SRC, "p.zl", opt=OptimizationConfig.full())
+    single = simulate(prog, t3d(1), ExecutionMode.NUMERIC).array("A")
+    multi = simulate(prog, t3d(nprocs), ExecutionMode.NUMERIC).array("A")
+    assert np.allclose(single, multi, rtol=1e-13, atol=1e-13)
+
+
+@given(nprocs=st.sampled_from([2, 4, 16]))
+@settings(max_examples=6, deadline=None)
+def test_time_deterministic_per_mesh(nprocs):
+    prog = compile_program(_SRC, "p.zl", opt=OptimizationConfig.full())
+    a = simulate(prog, t3d(nprocs), ExecutionMode.TIMING).time
+    b = simulate(prog, t3d(nprocs), ExecutionMode.TIMING).time
+    assert a == b

@@ -1,0 +1,85 @@
+"""Unit tests for distributed arrays with fluff."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.lang.regions import Region
+from repro.runtime.distarray import DistArray
+from repro.runtime.grid import ProcessorGrid
+from repro.runtime.layout import ProblemLayout
+
+
+def make_array(rows=2, cols=2, n=8, fluff=(1, 1)):
+    grid = ProcessorGrid(rows, cols)
+    domain = Region("R", (1, 1), (n, n))
+    layout = ProblemLayout(grid, {"A": domain})
+    return DistArray("A", domain, fluff, layout), layout
+
+
+class TestAllocation:
+    def test_buffer_shape_includes_fluff(self):
+        arr, _ = make_array()
+        block = arr.block(0)
+        assert block.data.shape == (4 + 2, 4 + 2)
+        assert block.origin == (0, 0)  # owned lows (1,1) minus fluff
+
+    def test_no_fluff_no_padding(self):
+        arr, _ = make_array(fluff=(0, 0))
+        assert arr.block(0).data.shape == (4, 4)
+
+    def test_zero_initialized(self):
+        arr, _ = make_array()
+        assert np.count_nonzero(arr.block(0).data) == 0
+
+
+class TestViews:
+    def test_view_of_owned_region(self):
+        arr, _ = make_array()
+        block = arr.block(0)
+        view = block.view(block.owned)
+        assert view.shape == (4, 4)
+        view[...] = 7.0
+        assert block.data[1:5, 1:5].sum() == 7.0 * 16
+
+    def test_view_into_fluff(self):
+        arr, _ = make_array()
+        block = arr.block(0)  # owns rows 1..4, cols 1..4
+        fluff_col = Region("f", (1, 5), (4, 5))
+        view = block.view(fluff_col)
+        assert view.shape == (4, 1)
+
+    def test_view_escaping_buffer_raises(self):
+        arr, _ = make_array()
+        block = arr.block(0)
+        with pytest.raises(RuntimeFault, match="fluff width"):
+            block.view(Region("bad", (1, 6), (4, 6)))
+
+
+class TestGatherScatter:
+    def test_scatter_then_gather_roundtrip(self):
+        arr, _ = make_array()
+        values = np.arange(64, dtype=float).reshape(8, 8)
+        arr.scatter(values)
+        assert np.array_equal(arr.gather(), values)
+
+    def test_scatter_shape_checked(self):
+        arr, _ = make_array()
+        with pytest.raises(RuntimeFault, match="shape"):
+            arr.scatter(np.zeros((4, 4)))
+
+    def test_scatter_leaves_fluff_untouched(self):
+        arr, _ = make_array()
+        arr.block(0).data[0, 0] = 99.0  # a fluff corner
+        arr.scatter(np.zeros((8, 8)))
+        assert arr.block(0).data[0, 0] == 99.0
+
+    def test_gather_respects_ownership(self):
+        arr, layout = make_array()
+        # write different constants into each rank's owned cells
+        for p in layout.grid.ranks():
+            block = arr.block(p)
+            block.view(block.owned)[...] = float(p)
+        g = arr.gather()
+        assert g[0, 0] == 0.0 and g[0, 7] == 1.0
+        assert g[7, 0] == 2.0 and g[7, 7] == 3.0

@@ -1,0 +1,78 @@
+"""Error-path tests: the runtime's defensive checks."""
+
+import pytest
+
+from repro import ExecutionMode, OptimizationConfig, compile_program, simulate, t3d
+from repro.errors import MachineError, RuntimeFault
+from repro.machine import paragon
+
+
+class TestFluffFeasibility:
+    def test_oversized_shift_rejected_at_simulation_start(self):
+        src = """
+        program p;
+        config n : integer = 8;
+        region R = [1..n, 1..n];
+        region Sub = [1..n, 1..n-6];
+        direction far = [0, 6];
+        var A, B : [R] double;
+        procedure main(); begin [Sub] B := A@far; end;
+        """
+        prog = compile_program(src, opt=OptimizationConfig.full())
+        # 8 columns over 8 mesh columns -> blocks of width 1 < shift 6
+        with pytest.raises(RuntimeFault, match="shift width"):
+            simulate(prog, t3d(64), ExecutionMode.TIMING)
+
+    def test_same_program_fine_on_smaller_mesh(self):
+        src = """
+        program p;
+        config n : integer = 16;
+        region R = [1..n, 1..n];
+        region Sub = [1..n, 1..n-6];
+        direction far = [0, 6];
+        var A, B : [R] double;
+        procedure main(); begin [Sub] B := A@far; end;
+        """
+        prog = compile_program(src, opt=OptimizationConfig.full())
+        simulate(prog, t3d(4), ExecutionMode.TIMING)  # blocks of width 8
+
+
+class TestControlFlowFaults:
+    def test_zero_step_loop(self):
+        src = """
+        program p;
+        var s : double;
+        procedure main(); begin
+          for i := 1 to 4 by 0 do s := 1.0; end;
+        end;
+        """
+        prog = compile_program(src)
+        with pytest.raises(RuntimeFault, match="zero step"):
+            simulate(prog, t3d(1), ExecutionMode.TIMING)
+
+
+class TestMachineValidation:
+    def test_paragon_rejects_t3d_libraries(self):
+        with pytest.raises(MachineError):
+            paragon(4, "shmem")
+
+    def test_bad_processor_count(self):
+        with pytest.raises(MachineError):
+            t3d(0)
+
+
+class TestWrapFaults:
+    def test_wrap_strip_spanning_processors_rejected(self):
+        # 12 columns over a 1x4 mesh -> blocks of 3; a wrap offset of 3
+        # is feasible, 5 folds onto a strip crossing two owners
+        src = """
+        program p;
+        config n : integer = 12;
+        region R = [1..n, 1..n];
+        direction far = [0, 5];
+        var A, B : [R] double;
+        procedure main(); begin [R] B := A@@far; end;
+        """
+        prog = compile_program(src, opt=OptimizationConfig.full())
+        with pytest.raises(RuntimeFault, match="shift width"):
+            simulate(prog, t3d(16), ExecutionMode.TIMING)

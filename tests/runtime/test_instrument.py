@@ -1,0 +1,73 @@
+"""Unit tests for instrumentation counters."""
+
+import numpy as np
+
+from repro.ir.nodes import CommDescriptor, CommEntry
+from repro.lang.regions import Direction, Region
+from repro.runtime.grid import ProcessorGrid
+from repro.runtime.instrument import Instrumentation
+from repro.runtime.layout import ProblemLayout
+from repro.runtime.transfers import TransferPlan
+
+
+def plan_for(direction=Direction("east", (0, 1))):
+    grid = ProcessorGrid(2, 2)
+    layout = ProblemLayout(grid, {"A": Region("R", (1, 1), (8, 8))})
+    desc = CommDescriptor(
+        direction=direction,
+        entries=[CommEntry("A", Region("In", (2, 2), (7, 7)))],
+    )
+    return TransferPlan(desc, layout, 4)
+
+
+def test_record_transfer_counts_participants_once():
+    inst = Instrumentation(4)
+    plan = plan_for()
+    inst.record_transfer(plan)
+    assert inst.dynamic_comms.sum() == plan.participant_count
+    assert inst.dynamic_comm_count == 1
+
+
+def test_repeated_transfers_accumulate():
+    inst = Instrumentation(4)
+    plan = plan_for()
+    for _ in range(5):
+        inst.record_transfer(plan)
+    assert inst.dynamic_comm_count == 5
+
+
+def test_messages_and_bytes_attributed_to_senders():
+    inst = Instrumentation(4)
+    plan = plan_for()
+    inst.record_transfer(plan)
+    assert inst.total_messages == plan.message_count
+    assert inst.total_bytes == int(plan.nbytes.sum())
+    assert inst.messages[plan.senders].sum() == plan.message_count
+
+
+def test_empty_plan_not_counted():
+    grid = ProcessorGrid(1, 1)
+    layout = ProblemLayout(grid, {"A": Region("R", (1, 1), (4, 4))})
+    desc = CommDescriptor(
+        direction=Direction("east", (0, 1)),
+        entries=[CommEntry("A", Region("In", (2, 2), (3, 3)))],
+    )
+    plan = TransferPlan(desc, layout, 1)
+    inst = Instrumentation(1)
+    inst.record_transfer(plan)
+    assert inst.dynamic_comm_count == 0
+
+
+def test_call_counts_skip_noop():
+    inst = Instrumentation(4)
+    inst.record_calls("noop", 10)
+    inst.record_calls("csend", 3)
+    inst.record_calls("csend", 2)
+    assert inst.call_counts == {"csend": 5}
+
+
+def test_warnings_deduplicated():
+    inst = Instrumentation(4)
+    inst.warn("same thing")
+    inst.warn("same thing")
+    assert inst.warnings == ["same thing"]

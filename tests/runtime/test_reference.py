@@ -1,0 +1,90 @@
+"""Unit tests for the sequential reference evaluator."""
+
+import numpy as np
+import pytest
+
+from repro import OptimizationConfig, compile_program, reference_run
+
+
+def run_src(body, decls="", config=None):
+    src = f"""
+    program p;
+    config n : integer = 6;
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    direction east = [0, 1];
+    var A, B : [R] double;
+    var s : double;
+    {decls}
+    procedure main(); begin {body} end;
+    """
+    return reference_run(compile_program(src, "p.zl", config=config))
+
+
+def test_index_builtins():
+    res = run_src("[R] A := index1 * 10.0 + index2;")
+    a = res.array("A")
+    assert a[0, 0] == 11.0
+    assert a[5, 3] == 64.0
+
+
+def test_shifted_read():
+    res = run_src("[R] A := index2; [In] B := A@east;")
+    b = res.array("B")
+    # B[i,j] = A[i,j+1] = j+2 over the interior (0-based row 1..4)
+    assert b[1, 1] == 3.0
+
+
+def test_region_scope_limits_writes():
+    res = run_src("[R] A := 1.0; [In] A := 2.0;")
+    a = res.array("A")
+    assert a[0, 0] == 1.0 and a[2, 2] == 2.0
+
+
+def test_reductions():
+    res = run_src("[R] A := 2.0; [R] s := +<< A;")
+    assert res.scalars["s"] == 2.0 * 36
+
+
+def test_reduce_of_scalar_operand_broadcasts():
+    res = run_src("[In] s := +<< 3.0;")
+    assert res.scalars["s"] == 3.0 * 16
+
+
+def test_max_reduce():
+    res = run_src("[R] A := index1; [R] s := max<< A;")
+    assert res.scalars["s"] == 6.0
+
+
+def test_aliasing_self_shift_is_safe():
+    # A := A@east with overlap: must read pre-assignment values
+    res = run_src("[R] A := index2; [In] A := A@east;")
+    a = res.array("A")
+    assert a[1, 1] == 3.0  # old A[1,2] (0-based), i.e. column index + 2
+
+
+def test_comm_calls_ignored():
+    src = """
+    program p;
+    config n : integer = 6;
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    direction east = [0, 1];
+    var A, B : [R] double;
+    procedure main(); begin [R] A := 1.0; [In] B := A@east; end;
+    """
+    plain = reference_run(compile_program(src, "p.zl"))
+    optimized = reference_run(
+        compile_program(src, "p.zl", opt=OptimizationConfig.full())
+    )
+    assert np.array_equal(plain.array("B"), optimized.array("B"))
+
+
+def test_intrinsics():
+    res = run_src("[R] A := max(sqrt(4.0), 1.0) + abs(0.0 - 3.0);")
+    assert res.array("A")[0, 0] == pytest.approx(5.0)
+
+
+def test_integer_division_truncates_in_scalar_context():
+    res = run_src("s := (7 / 2) * 1.0;")
+    assert res.scalars["s"] == 3.0

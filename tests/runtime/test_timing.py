@@ -1,0 +1,106 @@
+"""Focused tests for the timing engine's communication semantics."""
+
+import numpy as np
+import pytest
+
+from repro import ExecutionMode, OptimizationConfig, compile_program, simulate, t3d
+from repro.errors import RuntimeFault
+from repro.ir.nodes import CommCall
+from repro.ironman.calls import CallKind
+
+
+def compiled(body, opt=OptimizationConfig.full(), n=8):
+    src = f"""
+    program p;
+    config n : integer = {n};
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    direction east = [0, 1];
+    var A, B, C, W : [R] double;
+    procedure main(); begin {body} end;
+    """
+    return compile_program(src, "p.zl", opt=opt)
+
+
+class TestPipeliningPaysOff:
+    def test_hidden_wire_time(self):
+        """With work between SR and DN the wire time is absorbed; the
+        pipelined run is faster than the unpipelined one."""
+        body = (
+            "[R] A := 1.0;"
+            "[R] W := W * 1.001 + 0.5 * W * W - 0.1 * W + 2.0 * W;"
+            "[In] B := A@east;"
+        )
+        unpiped = simulate(
+            compiled(body, OptimizationConfig.rr_cc()), t3d(4), ExecutionMode.TIMING
+        )
+        piped = simulate(
+            compiled(body, OptimizationConfig.full()), t3d(4), ExecutionMode.TIMING
+        )
+        assert piped.time < unpiped.time
+
+    def test_pipelining_never_changes_counts(self):
+        body = "[R] A := 1.0; [In] B := A@east; [In] C := A@east;"
+        unpiped = simulate(
+            compiled(body, OptimizationConfig.rr_cc()), t3d(4), ExecutionMode.TIMING
+        )
+        piped = simulate(
+            compiled(body, OptimizationConfig.full()), t3d(4), ExecutionMode.TIMING
+        )
+        assert piped.dynamic_comm_count == unpiped.dynamic_comm_count
+
+
+class TestLibrarySemantics:
+    def test_call_counts_follow_binding(self):
+        body = "[R] A := 1.0; [In] B := A@east;"
+        res_pvm = simulate(compiled(body), t3d(4, "pvm"), ExecutionMode.TIMING)
+        assert "pvm_send" in res_pvm.instrument.call_counts
+        assert "pvm_recv" in res_pvm.instrument.call_counts
+        res_sh = simulate(compiled(body), t3d(4, "shmem"), ExecutionMode.TIMING)
+        assert "shmem_put" in res_sh.instrument.call_counts
+        assert "synch" in res_sh.instrument.call_counts
+
+    def test_noop_calls_not_counted(self):
+        body = "[In] B := A@east;"
+        res = simulate(compiled(body), t3d(4, "pvm"), ExecutionMode.TIMING)
+        assert "noop" not in res.instrument.call_counts
+
+    def test_paragon_callback_slower_than_csend(self):
+        from repro.machine import paragon
+
+        body = "[In] B := A@east; [In] C := A@east;"
+        prog = compiled(body, OptimizationConfig.baseline())
+        t_nx = simulate(prog, paragon(4, "nx"), ExecutionMode.TIMING).time
+        t_cb = simulate(prog, paragon(4, "nx_callback"), ExecutionMode.TIMING).time
+        assert t_cb > t_nx
+
+
+class TestScheduleValidation:
+    def _broken_program(self, drop_kind):
+        prog = compiled("[In] B := A@east;")
+        for block in prog.walk_blocks():
+            block.stmts = [
+                s
+                for s in block.stmts
+                if not (isinstance(s, CommCall) and s.kind is drop_kind)
+            ]
+        return prog
+
+    def test_missing_sr_detected(self):
+        prog = self._broken_program(CallKind.SR)
+        with pytest.raises(RuntimeFault, match="before initiation"):
+            simulate(prog, t3d(4), ExecutionMode.TIMING)
+
+    def test_missing_dn_detected(self):
+        prog = self._broken_program(CallKind.DN)
+        with pytest.raises(RuntimeFault, match="never"):
+            simulate(prog, t3d(4), ExecutionMode.TIMING)
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        prog = compiled("[R] A := 1.0; [In] B := A@east;")
+        t1 = simulate(prog, t3d(4), ExecutionMode.TIMING)
+        t2 = simulate(prog, t3d(4), ExecutionMode.TIMING)
+        assert t1.time == t2.time
+        assert np.array_equal(t1.clocks, t2.clocks)

@@ -1,0 +1,127 @@
+"""Tests for periodic (wrap-@) shifts — ZPL's ``@@`` operator."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExecutionMode,
+    OptimizationConfig,
+    compile_program,
+    reference_run,
+    simulate,
+    t3d,
+)
+from repro.errors import SemanticError
+
+
+def compiled(body, opt=None, n=12, extra_dirs=""):
+    src = f"""
+    program wraptest;
+    config n : integer = {n};
+    region R  = [1..n, 1..n];
+    region Sub = [2..n-1, 1..n-1];
+    direction east = [0, 1];
+    direction west = [0, -1];
+    direction se   = [1, 1];
+    {extra_dirs}
+    var A, B, C : [R] double;
+    procedure main();
+    begin
+      [R] A := index1 * 100.0 + index2;
+      {body}
+    end;
+    """
+    return compile_program(src, "wraptest.zl", opt=opt)
+
+
+class TestSemantics:
+    def test_wrap_allows_full_domain_scope(self):
+        compiled("[R] B := A@@east;")  # plain @ would escape the domain
+
+    def test_plain_shift_over_full_domain_still_rejected(self):
+        with pytest.raises(SemanticError, match="outside the array's domain"):
+            compiled("[R] B := A@east;")
+
+    def test_wrap_along_local_dim_rejected(self):
+        src = """
+        program p;
+        region R = [1..4, 1..4, 1..4];
+        direction zup = [0, 0, 1];
+        var U : [R] double;
+        procedure main(); begin [R] U := U@@zup; end;
+        """
+        with pytest.raises(SemanticError, match="processor-local"):
+            compile_program(src, "p.zl")
+
+    def test_wrap_offset_as_large_as_domain_rejected(self):
+        with pytest.raises(SemanticError, match="as large as"):
+            compiled(
+                "[R] B := A@@big;", extra_dirs="direction big = [0, 12];"
+            )
+
+
+class TestReferenceSemantics:
+    def test_wrap_east_rolls_columns(self):
+        prog = compiled("[R] B := A@@east;")
+        ref = reference_run(prog)
+        a, b = ref.array("A"), ref.array("B")
+        assert np.array_equal(b, np.roll(a, -1, axis=1))
+
+    def test_wrap_diagonal_rolls_both(self):
+        prog = compiled("[R] B := A@@se;")
+        ref = reference_run(prog)
+        a, b = ref.array("A"), ref.array("B")
+        assert np.array_equal(b, np.roll(np.roll(a, -1, 0), -1, 1))
+
+
+class TestDistributedCorrectness:
+    @pytest.mark.parametrize("nprocs", [1, 4, 16])
+    @pytest.mark.parametrize("lib", ["pvm", "shmem"])
+    def test_matches_reference(self, nprocs, lib):
+        body = """
+        for t := 1 to 3 do
+          [R] B := 0.5 * (A@@east + A@@west) + 0.1 * A@@se;
+          [R] A := A * 0.8 + B * 0.2;
+        end;
+        """
+        ref = reference_run(compiled(body))
+        for cfg in (
+            OptimizationConfig.baseline(),
+            OptimizationConfig.full(),
+            OptimizationConfig.full_max_latency(),
+        ):
+            res = simulate(
+                compiled(body, opt=cfg), t3d(nprocs, lib), ExecutionMode.NUMERIC
+            )
+            assert np.allclose(res.array("A"), ref.array("A"))
+
+    def test_wrap_and_nonwrap_same_direction_are_distinct_transfers(self):
+        body = "[Sub] B := A@east; [R] C := A@@east;"
+        prog = compiled(body, opt=OptimizationConfig.full())
+        descs = prog.all_descriptors()
+        assert len(descs) == 2
+        assert sorted(d.wrap for d in descs) == [False, True]
+
+    def test_wrap_not_redundant_with_nonwrap(self):
+        body = "[Sub] B := A@east; [R] C := A@@east;"
+        prog = compiled(body, opt=OptimizationConfig.rr_only())
+        assert len(prog.all_descriptors()) == 2
+
+    def test_wrap_combines_with_wrap_only(self):
+        body = "[R] C := A@@east + B@@east;"
+        src_init = "[R] B := index2;"
+        prog = compiled(src_init + body, opt=OptimizationConfig.rr_cc())
+        (desc,) = [d for d in prog.all_descriptors()]
+        assert desc.wrap and sorted(desc.arrays) == ["A", "B"]
+
+    def test_edge_ranks_participate_via_torus(self):
+        prog = compiled("[R] B := A@@east;", opt=OptimizationConfig.full())
+        res = simulate(prog, t3d(4), ExecutionMode.NUMERIC)
+        # every rank both sends and receives: all participate
+        assert (res.dynamic_comms == 1).all()
+
+    def test_single_processor_wraps_to_itself(self):
+        prog = compiled("[R] B := A@@east;", opt=OptimizationConfig.full())
+        ref = reference_run(prog)
+        res = simulate(prog, t3d(1), ExecutionMode.NUMERIC)
+        assert np.array_equal(res.array("B"), ref.array("B"))

@@ -1,0 +1,51 @@
+"""Tests of the top-level public API (the README quickstart contract)."""
+
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_from_module_docstring():
+    source = """
+    program demo;
+    config n : integer = 16;
+    region R  = [1..n, 1..n];
+    region In = [2..n-1, 2..n-1];
+    direction east = [0, 1];  direction west = [0, -1];
+    var A, B : [R] double;
+    procedure main();
+    begin
+      [R] A := index1 + index2;
+      [In] B := 0.5 * (A@east + A@west);
+    end;
+    """
+    program = repro.compile_program(
+        source, opt=repro.OptimizationConfig.full()
+    )
+    result = repro.simulate(program, repro.t3d(16))
+    assert result.dynamic_comm_count == 2
+
+
+def test_compile_program_default_name():
+    program = repro.compile_program(
+        "program p; procedure main(); begin end;"
+    )
+    assert program.name == "p"
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.ParseError, repro.ReproError)
+    assert issubclass(repro.SemanticError, repro.ReproError)
+    assert issubclass(repro.RuntimeFault, repro.ReproError)
+
+    with pytest.raises(repro.ReproError):
+        repro.compile_program("program p; procedure main(); begin x := ; end;")
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,54 @@
+"""Tests of the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from tests.conftest import MINI_SOURCE
+
+
+@pytest.fixture
+def mini_file(tmp_path):
+    path = tmp_path / "mini.zl"
+    path.write_text(MINI_SOURCE)
+    return str(path)
+
+
+def test_compile_prints_pseudo_c(mini_file, capsys):
+    assert main(["compile", mini_file]) == 0
+    out = capsys.readouterr().out
+    assert "SR(A, east);" in out
+    assert "excluding communication" in out
+
+
+def test_compile_respects_config_override(mini_file, capsys):
+    main(["compile", mini_file, "--config", "n=4"])
+    out = capsys.readouterr().out
+    assert "_i1 <= 4" in out
+
+
+def test_run_reports_counts(mini_file, capsys):
+    assert main(["run", mini_file, "--procs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "dynamic comms" in out
+    assert "Cray T3D" in out
+
+
+def test_run_numeric_mode(mini_file, capsys):
+    assert main(["run", mini_file, "--procs", "4", "--numeric"]) == 0
+
+
+def test_run_on_paragon(mini_file, capsys):
+    assert main(["run", mini_file, "--machine", "paragon", "--procs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Paragon" in out
+
+
+def test_figure6_subcommand(capsys):
+    assert main(["figure6", "--reps", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "pvm" in out and "shmem" in out
+
+
+def test_bad_config_syntax(mini_file):
+    with pytest.raises(SystemExit):
+        main(["compile", mini_file, "--config", "n:4"])
