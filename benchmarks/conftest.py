@@ -3,9 +3,13 @@
 ``pytest benchmarks/ --benchmark-only`` regenerates every table and
 figure of the paper's evaluation.  The expensive part — the
 whole-program study (4 benchmarks x 6 experiment keys at paper scale,
-64 simulated processors) — runs once per session in the ``suite``
-fixture; the per-figure benchmark targets time one representative
-simulation each and render their tables from the shared results.
+64 simulated processors) — is submitted as a job matrix through
+:func:`repro.run_study` in the ``suite`` fixture: cells fan out over
+worker processes when the host has them, and land in an on-disk result
+cache under ``benchmarks/.repro-cache/`` so repeated harness runs only
+re-simulate what changed.  The per-figure benchmark targets time one
+representative simulation each and render their tables from the shared
+results.
 
 Each regenerated table is printed and also written to
 ``benchmarks/results/<name>.txt``.
@@ -13,21 +17,28 @@ Each regenerated table is printed and also written to
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.analysis.experiments import run_benchmark_suite
+from repro import run_study
 from repro.programs import BENCHMARKS
 
 RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = Path(__file__).parent / ".repro-cache"
 
 
 @pytest.fixture(scope="session")
 def suite():
     """The paper-scale whole-program study feeding Figures 8/10/11/12 and
-    Tables 1-4."""
-    return run_benchmark_suite(BENCHMARKS, nprocs=64)
+    Tables 1-4, via the experiment engine (parallel + cached)."""
+    return run_study(
+        benchmarks=BENCHMARKS,
+        nprocs=64,
+        jobs=min(4, os.cpu_count() or 1),
+        cache_dir=CACHE_DIR,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -22,7 +22,12 @@ A from-scratch implementation of the paper's entire system:
 * the paper's four **benchmark programs** (TOMCATV, SWM, SIMPLE, SP) and
   its synthetic overhead benchmark — :mod:`repro.programs`;
 * the **experiment harness** regenerating every figure and table —
-  :mod:`repro.analysis`.
+  :mod:`repro.analysis`;
+* a parallel, content-addressed **experiment engine** running the
+  whole-program study as a cached job matrix — :mod:`repro.engine`,
+  fronted by :func:`run_study`:
+
+  >>> study = run_study(benchmarks=("swm",), nprocs=16, jobs=4)  # doctest: +SKIP
 
 Quickstart
 ----------
@@ -47,7 +52,9 @@ Quickstart
 2
 """
 
+from repro.analysis.experiments import ExperimentSpec, experiment_spec
 from repro.comm import OptimizationConfig, optimize, static_comm_count
+from repro.engine import ExperimentEngine, Job, MachineSpec, StudyResult, run_study
 from repro.errors import (
     LexError,
     MachineError,
@@ -75,6 +82,14 @@ __all__ = [
     "emit_c",
     "OptimizationConfig",
     "static_comm_count",
+    # the experiment engine
+    "run_study",
+    "ExperimentEngine",
+    "ExperimentSpec",
+    "experiment_spec",
+    "Job",
+    "MachineSpec",
+    "StudyResult",
     # machines
     "Machine",
     "paragon",

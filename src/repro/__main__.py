@@ -14,7 +14,10 @@ Commands
 
 ``experiments``
     Run the whole-program study (Figures 8/10/11/12 and Tables 1-4)
-    and print every regenerated table (``--bench`` to restrict).
+    through the experiment engine and print every regenerated table
+    (``--bench`` to restrict, ``--jobs N`` to parallelize, ``--no-cache``
+    to bypass the on-disk result cache, ``--telemetry PATH`` to dump
+    per-job run records).
 
 ``figure6``
     Run the synthetic overhead benchmark and print the Figure 6 curves.
@@ -32,31 +35,31 @@ from repro import (
     compile_program,
     emit_c,
     machine_by_name,
+    run_study,
     simulate,
 )
-from repro.analysis import (
-    EXPERIMENT_KEYS,
-    experiment_spec,
-    format_table,
-    run_benchmark_suite,
-)
+from repro.analysis import EXPERIMENT_KEYS, experiment_spec, format_table
 from repro.analysis import figures as fig
+from repro.frontend import parse_config_assignments
 from repro.programs import BENCHMARKS
 
 
 def _parse_config(pairs):
-    out = {}
-    for pair in pairs or ():
-        name, _, value = pair.partition("=")
-        if not _:
-            raise SystemExit(f"bad --config {pair!r}; use name=value")
-        out[name] = float(value) if "." in value else int(value)
-    return out
+    try:
+        return parse_config_assignments(pairs)
+    except ValueError as exc:
+        raise SystemExit(f"--config: {exc}") from None
 
 
 def _opt_for(key: str) -> OptimizationConfig:
-    opt, _, _ = experiment_spec(key)
-    return opt
+    return experiment_spec(key).opt
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def cmd_compile(args) -> int:
@@ -95,7 +98,16 @@ def cmd_run(args) -> int:
 
 def cmd_experiments(args) -> int:
     benches = args.bench or list(BENCHMARKS)
-    results = run_benchmark_suite(benches, nprocs=args.procs)
+    overrides = _parse_config(args.config)
+    results = run_study(
+        benchmarks=benches,
+        nprocs=args.procs,
+        config_overrides={b: overrides for b in benches} if overrides else None,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        telemetry=args.telemetry,
+    )
     print(format_table(*fig.figure8_counts(results), title="Figure 8 — comm count reduction (scaled to baseline)"))
     print()
     print(format_table(*fig.figure10a_times(results), title="Figure 10(a) — scaled times, PVM"))
@@ -149,6 +161,17 @@ def main(argv=None) -> int:
     p = sub.add_parser("experiments", help="run the whole-program study")
     p.add_argument("--bench", action="append", choices=BENCHMARKS)
     p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--config", action="append", metavar="NAME=VALUE",
+                   help="config override applied to every benchmark")
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes for the job matrix (default 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache (.repro-cache/)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache directory (default .repro-cache/ "
+                   "or $REPRO_CACHE_DIR)")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="write per-job telemetry records as JSON")
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")

@@ -1,7 +1,8 @@
 """The experiment harness: the paper's evaluation section as code.
 
 :mod:`repro.analysis.experiments` defines the experiment keys of the
-paper's Figure 9 and runs benchmark x experiment grids;
+paper's Figure 9 and runs benchmark x experiment grids (submitted
+through the :mod:`repro.engine` job engine);
 :mod:`repro.analysis.figures` regenerates each figure/table's rows;
 :mod:`repro.analysis.report` renders them as aligned text tables.
 """
@@ -9,6 +10,7 @@ paper's Figure 9 and runs benchmark x experiment grids;
 from repro.analysis.experiments import (
     EXPERIMENT_KEYS,
     ExperimentResult,
+    ExperimentSpec,
     experiment_spec,
     run_experiment,
     run_benchmark_suite,
@@ -18,6 +20,7 @@ from repro.analysis.report import format_table
 __all__ = [
     "EXPERIMENT_KEYS",
     "ExperimentResult",
+    "ExperimentSpec",
     "experiment_spec",
     "run_experiment",
     "run_benchmark_suite",

@@ -14,12 +14,23 @@ pl_maxlat           pl with shmem, combining for max latency       shmem
 The paper's experiments are *cumulative* — each key adds one
 optimization — and the library is an orthogonal axis that the last two
 keys flip to SHMEM.
+
+An experiment key resolves to an :class:`ExperimentSpec` (key, opt,
+library, description).  ``experiment_spec`` historically returned a bare
+``(opt, library, description)`` tuple; the spec still unpacks that way
+through a deprecation shim, but new code should use the named fields.
+
+The grid drivers (:func:`run_benchmark_suite`) submit through
+:mod:`repro.engine` — the parallel, content-addressed engine — rather
+than looping inline; :func:`repro.engine.run_study` is the richer
+facade.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.comm import OptimizationConfig
 from repro.errors import ExperimentError
@@ -38,38 +49,99 @@ EXPERIMENT_KEYS: Tuple[str, ...] = (
     "pl_maxlat",
 )
 
-_SPECS: Dict[str, Tuple[OptimizationConfig, str, str]] = {
-    "baseline": (
-        OptimizationConfig.baseline(),
-        "pvm",
-        "message vectorization",
-    ),
-    "rr": (
-        OptimizationConfig.rr_only(),
-        "pvm",
-        "baseline with removing redundant communication",
-    ),
-    "cc": (
-        OptimizationConfig.rr_cc(),
-        "pvm",
-        "rr with combining communication",
-    ),
-    "pl": (OptimizationConfig.full(), "pvm", "cc with pipelining"),
-    "pl_shmem": (
-        OptimizationConfig.full(),
-        "shmem",
-        "pl using shmem_put",
-    ),
-    "pl_maxlat": (
-        OptimizationConfig.full_max_latency(),
-        "shmem",
-        "pl with shmem, combining for maximum latency hiding",
-    ),
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One of the paper's experiment configurations, by name.
+
+    Attributes
+    ----------
+    key:
+        The experiment key (``"baseline"`` ... ``"pl_maxlat"``).
+    opt:
+        The resolved :class:`~repro.comm.OptimizationConfig`.
+    library:
+        The communication library the paper pairs with the key (``pvm``
+        for the message-passing keys, ``shmem`` for the last two).
+    description:
+        The paper's cumulative description of the configuration.
+    """
+
+    key: str
+    opt: OptimizationConfig
+    library: str
+    description: str
+
+    # -- deprecation shim: the pre-engine API returned a bare
+    # (opt, library, description) 3-tuple; keep unpacking working.
+    def __iter__(self) -> Iterator:
+        warnings.warn(
+            "unpacking an ExperimentSpec as an (opt, library, description) "
+            "tuple is deprecated; use the .opt/.library/.description fields "
+            "(and .key) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return iter((self.opt, self.library, self.description))
+
+    def __len__(self) -> int:
+        return 3
+
+    def __getitem__(self, index):
+        warnings.warn(
+            "indexing an ExperimentSpec like a tuple is deprecated; use "
+            "the .opt/.library/.description fields instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return (self.opt, self.library, self.description)[index]
+
+
+_SPECS: Dict[str, ExperimentSpec] = {
+    spec.key: spec
+    for spec in (
+        ExperimentSpec(
+            "baseline",
+            OptimizationConfig.baseline(),
+            "pvm",
+            "message vectorization",
+        ),
+        ExperimentSpec(
+            "rr",
+            OptimizationConfig.rr_only(),
+            "pvm",
+            "baseline with removing redundant communication",
+        ),
+        ExperimentSpec(
+            "cc",
+            OptimizationConfig.rr_cc(),
+            "pvm",
+            "rr with combining communication",
+        ),
+        ExperimentSpec(
+            "pl",
+            OptimizationConfig.full(),
+            "pvm",
+            "cc with pipelining",
+        ),
+        ExperimentSpec(
+            "pl_shmem",
+            OptimizationConfig.full(),
+            "shmem",
+            "pl using shmem_put",
+        ),
+        ExperimentSpec(
+            "pl_maxlat",
+            OptimizationConfig.full_max_latency(),
+            "shmem",
+            "pl with shmem, combining for maximum latency hiding",
+        ),
+    )
 }
 
 
-def experiment_spec(key: str) -> Tuple[OptimizationConfig, str, str]:
-    """(optimization config, library, description) for an experiment key."""
+def experiment_spec(key: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` for an experiment key."""
     try:
         return _SPECS[key]
     except KeyError:
@@ -107,10 +179,10 @@ def run_experiment(
     ``machine`` overrides the default T3D (the paper's whole-program
     platform); when given, its library takes precedence over the key's.
     """
-    opt, library, _ = experiment_spec(key)
+    spec = experiment_spec(key)
     if machine is None:
-        machine = t3d(nprocs, library)
-    program = build_benchmark(benchmark, config=config, opt=opt)
+        machine = t3d(nprocs, spec.library)
+    program = build_benchmark(benchmark, config=config, opt=spec.opt)
     result = simulate(program, machine, mode)
     return ExperimentResult(
         benchmark=benchmark,
@@ -128,17 +200,32 @@ def run_benchmark_suite(
     nprocs: int = 64,
     config_overrides: Optional[Dict[str, Dict[str, float]]] = None,
     mode: ExecutionMode = ExecutionMode.TIMING,
+    jobs: Optional[int] = None,
+    cache: bool = False,
+    cache_dir=None,
 ) -> Dict[str, List[ExperimentResult]]:
     """Run a grid of benchmarks x experiments (the whole-program study).
 
     Returns benchmark name -> results in key order.  ``config_overrides``
     maps benchmark name -> config dict (tests use the small configs).
+
+    The grid is submitted through :class:`repro.engine.ExperimentEngine`:
+    ``jobs`` fans it out over worker processes, ``cache=True`` makes
+    re-runs incremental through the on-disk result cache (off by default
+    here for drop-in compatibility; the richer
+    :func:`repro.engine.run_study` facade caches by default and also
+    returns telemetry).
     """
-    out: Dict[str, List[ExperimentResult]] = {}
-    for bench in benchmarks:
-        config = (config_overrides or {}).get(bench)
-        out[bench] = [
-            run_experiment(bench, key, nprocs=nprocs, config=config, mode=mode)
-            for key in keys
-        ]
-    return out
+    from repro.engine import run_study
+
+    study = run_study(
+        benchmarks=tuple(benchmarks),
+        keys=tuple(keys),
+        nprocs=nprocs,
+        config_overrides=config_overrides,
+        mode=mode,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    return dict(study.results)

@@ -2,15 +2,19 @@
 
 Each ``figure*``/``table*`` function returns ``(headers, rows)`` ready
 for :func:`repro.analysis.report.format_table`.  Functions over the
-whole-program study take the precomputed suite results from
-:func:`repro.analysis.experiments.run_benchmark_suite`, so one grid of
+whole-program study are *pure consumers* of precomputed engine results —
+any mapping of ``benchmark -> [ExperimentResult, ...]`` in key order: a
+:class:`repro.engine.StudyResult` from :func:`repro.run_study` or the
+plain dict from the legacy
+:func:`repro.analysis.experiments.run_benchmark_suite`.  One grid of
 simulations feeds Figures 8, 10, 11, 12 and Tables 1-4 — mirroring how
-the paper derives all of them from one set of runs.
+the paper derives all of them from one set of runs — and the figures
+never trigger simulation themselves.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.analysis.experiments import EXPERIMENT_KEYS, ExperimentResult
 from repro.comm import OptimizationConfig
@@ -176,7 +180,7 @@ def _by_key(results: List[ExperimentResult]) -> Dict[str, ExperimentResult]:
     return {r.experiment: r for r in results}
 
 
-def figure8_counts(results: Dict[str, List[ExperimentResult]]) -> Rows:
+def figure8_counts(results: Mapping[str, List[ExperimentResult]]) -> Rows:
     """Static and dynamic communication counts for rr and cc, scaled to
     baseline (paper Figure 8)."""
     headers = [
@@ -202,7 +206,7 @@ def figure8_counts(results: Dict[str, List[ExperimentResult]]) -> Rows:
     return (headers, rows)
 
 
-def figure10a_times(results: Dict[str, List[ExperimentResult]]) -> Rows:
+def figure10a_times(results: Mapping[str, List[ExperimentResult]]) -> Rows:
     """Scaled execution times using PVM (paper Figure 10(a))."""
     headers = ["benchmark", "baseline", "rr", "cc", "pl"]
     rows = []
@@ -216,7 +220,7 @@ def figure10a_times(results: Dict[str, List[ExperimentResult]]) -> Rows:
     return (headers, rows)
 
 
-def figure10b_times(results: Dict[str, List[ExperimentResult]]) -> Rows:
+def figure10b_times(results: Mapping[str, List[ExperimentResult]]) -> Rows:
     """Scaled execution times: pl vs pl with shmem (paper Figure 10(b))."""
     headers = ["benchmark", "pl", "pl with shmem"]
     rows = []
@@ -230,7 +234,7 @@ def figure10b_times(results: Dict[str, List[ExperimentResult]]) -> Rows:
 
 
 def figure11_heuristic_counts(
-    results: Dict[str, List[ExperimentResult]]
+    results: Mapping[str, List[ExperimentResult]]
 ) -> Rows:
     """Counts under the two combining heuristics, scaled to baseline
     (paper Figure 11)."""
@@ -258,7 +262,7 @@ def figure11_heuristic_counts(
 
 
 def figure12_heuristic_times(
-    results: Dict[str, List[ExperimentResult]]
+    results: Mapping[str, List[ExperimentResult]]
 ) -> Rows:
     """Scaled running times under the two combining heuristics (paper
     Figure 12).  Unlike the paper — whose library bug blocked SP — every
@@ -279,7 +283,7 @@ def figure12_heuristic_times(
 
 
 def table_full(
-    benchmark: str, results: Dict[str, List[ExperimentResult]]
+    benchmark: str, results: Mapping[str, List[ExperimentResult]]
 ) -> Rows:
     """One of Tables 1-4: full counts and times for every experiment,
     with the paper's values alongside."""

@@ -1,0 +1,46 @@
+"""The parallel, content-addressed experiment engine.
+
+The paper's whole-program study is a job matrix — ``experiment key x
+benchmark x machine`` — that is embarrassingly parallel and highly
+cacheable.  This package runs it that way:
+
+* :mod:`repro.engine.jobs` — picklable :class:`Job`/:class:`MachineSpec`
+  value objects and SHA-256 content fingerprints;
+* :mod:`repro.engine.worker` — job execution with a two-level compile
+  cache (front end once per benchmark, optimizer once per opt level);
+* :mod:`repro.engine.cache` — the on-disk JSON result cache under
+  ``.repro-cache/`` that makes re-runs incremental;
+* :mod:`repro.engine.core` — :class:`ExperimentEngine` (cache lookup +
+  ``ProcessPoolExecutor`` fan-out) and the :func:`run_study` facade.
+
+See ``docs/ENGINE.md`` for the job-matrix model, cache keys, and the
+telemetry schema.
+"""
+
+from repro.engine.cache import NullCache, ResultCache, default_cache_root
+from repro.engine.core import (
+    ExperimentEngine,
+    JobOutcome,
+    StudyResult,
+    build_matrix,
+    run_study,
+)
+from repro.engine.jobs import ENGINE_VERSION, Job, MachineSpec, source_sha
+from repro.engine.worker import clear_compile_cache, execute_job
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ExperimentEngine",
+    "Job",
+    "JobOutcome",
+    "MachineSpec",
+    "NullCache",
+    "ResultCache",
+    "StudyResult",
+    "build_matrix",
+    "clear_compile_cache",
+    "default_cache_root",
+    "execute_job",
+    "run_study",
+    "source_sha",
+]

@@ -1,0 +1,84 @@
+"""On-disk result cache: content-addressed job records as JSON files.
+
+Layout: ``<root>/<aa>/<fingerprint>.json`` where ``aa`` is the first two
+hex digits of the fingerprint (keeps directories small at large sweep
+sizes).  Writes are atomic (tmp file + rename) so concurrent engine
+invocations sharing a cache directory never observe torn records; reads
+treat missing, truncated, or schema-mismatched files as misses.
+
+The default root is ``.repro-cache/`` under the current directory,
+overridable per engine (``cache_dir=``) or globally through the
+``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+#: Schema version of the stored record; bump together with record shape.
+RECORD_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class NullCache:
+    """The ``--no-cache`` cache: everything misses, nothing is stored."""
+
+    root: Optional[Path] = None
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        return None
+
+    def put(self, fingerprint: str, record: dict) -> None:
+        pass
+
+
+class ResultCache:
+    """A directory of fingerprint-addressed job records."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The stored record for a fingerprint, or None on any miss
+        (absent, unreadable, corrupt, or written by another schema)."""
+        path = self._path(fingerprint)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != RECORD_SCHEMA
+            or record.get("fingerprint") != fingerprint
+        ):
+            return None
+        return record
+
+    def put(self, fingerprint: str, record: dict) -> None:
+        """Store a record atomically (best-effort: cache write failures
+        never fail the run that produced the result)."""
+        path = self._path(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+
+def make_cache(
+    enabled: bool = True, root: Union[str, Path, None] = None
+) -> Union[ResultCache, NullCache]:
+    return ResultCache(root) if enabled else NullCache()

@@ -1,0 +1,269 @@
+"""The experiment engine: job matrix -> (cached, parallel) results.
+
+:class:`ExperimentEngine` turns a list of :class:`~repro.engine.jobs.Job`
+into :class:`JobOutcome` records: each job is first looked up in the
+on-disk result cache by content fingerprint; the misses run through
+:func:`~repro.engine.worker.execute_job`, inline when serial or over a
+``ProcessPoolExecutor`` when ``jobs > 1``.  Outcomes always come back in
+submission order regardless of completion order, which is what makes
+``--jobs 4`` byte-identical to a serial run.
+
+:func:`run_study` is the public facade (re-exported as
+``repro.run_study``): build the paper's ``benchmark x experiment``
+matrix on one machine, run it through an engine, and return a
+:class:`StudyResult` — a mapping ``benchmark -> [ExperimentResult, ...]``
+(directly consumable by every ``repro.analysis.figures`` function) that
+also carries the per-job telemetry records.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping as MappingABC
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.analysis.experiments import EXPERIMENT_KEYS, ExperimentResult
+from repro.errors import ExperimentError
+from repro.programs import BENCHMARKS
+from repro.runtime import ExecutionMode
+
+from repro.engine.cache import NullCache, ResultCache, make_cache
+from repro.engine.jobs import ConfigValue, Job, MachineSpec
+from repro.engine.worker import execute_job
+
+ConfigOverride = Union[Mapping[str, ConfigValue], Iterable[str], None]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One finished job: the submitted :class:`Job`, its full telemetry
+    record, and whether it was served from the result cache."""
+
+    job: Job
+    record: dict
+    cached: bool
+
+    @property
+    def result(self) -> ExperimentResult:
+        r = self.record["result"]
+        return ExperimentResult(
+            benchmark=self.record["benchmark"],
+            experiment=self.record["experiment"],
+            library=self.record["library"],
+            static_count=r["static_count"],
+            dynamic_count=r["dynamic_count"],
+            execution_time=r["execution_time"],
+        )
+
+
+class ExperimentEngine:
+    """Runs jobs through the result cache and an optional process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` or ``1`` runs inline (sharing one
+        compile cache across the whole study), ``N > 1`` fans misses out
+        over a ``ProcessPoolExecutor``.
+    cache:
+        Consult/populate the on-disk result cache (default on).
+    cache_dir:
+        Cache root; defaults to ``.repro-cache/`` (or ``REPRO_CACHE_DIR``).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = None,
+        cache: bool = True,
+        cache_dir: Union[str, Path, None] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache: Union[ResultCache, NullCache] = make_cache(cache, cache_dir)
+
+    def run(self, jobs: Sequence[Job]) -> List[JobOutcome]:
+        """Run every job, returning outcomes in submission order."""
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        misses: List[tuple] = []
+        for i, job in enumerate(jobs):
+            fp = job.fingerprint()
+            record = self.cache.get(fp)
+            if record is not None:
+                record = dict(record, cache_hit=True)
+                outcomes[i] = JobOutcome(job=job, record=record, cached=True)
+            else:
+                misses.append((i, job, fp))
+
+        if misses:
+            todo = [job for _, job, _ in misses]
+            if self.jobs and self.jobs > 1 and len(todo) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    records = list(pool.map(execute_job, todo))
+            else:
+                records = [execute_job(job) for job in todo]
+            for (i, job, fp), record in zip(misses, records):
+                self.cache.put(fp, record)
+                outcomes[i] = JobOutcome(job=job, record=record, cached=False)
+
+        return [o for o in outcomes if o is not None]
+
+
+def build_matrix(
+    benchmarks: Iterable[str],
+    keys: Iterable[str] = EXPERIMENT_KEYS,
+    machine: Union[MachineSpec, str, None] = None,
+    config_overrides: Optional[Mapping[str, ConfigOverride]] = None,
+    mode: Union[ExecutionMode, str] = ExecutionMode.TIMING,
+) -> List[Job]:
+    """The study's job matrix: every benchmark under every key, in the
+    paper's presentation order."""
+    spec = MachineSpec.coerce(machine)
+    mode_str = mode.value if isinstance(mode, ExecutionMode) else str(mode)
+    keys = tuple(keys)
+    return [
+        Job.make(
+            benchmark=bench,
+            experiment=key,
+            machine=spec,
+            config=_coerce_config((config_overrides or {}).get(bench)),
+            mode=mode_str,
+        )
+        for bench in benchmarks
+        for key in keys
+    ]
+
+
+def _coerce_config(override: ConfigOverride) -> Optional[Dict[str, ConfigValue]]:
+    """Accept a mapping or an iterable of ``name=value`` strings."""
+    if override is None:
+        return None
+    if isinstance(override, MappingABC):
+        return dict(override)
+    from repro.frontend import parse_config_assignments
+
+    return parse_config_assignments(override)
+
+
+@dataclass
+class StudyResult(MappingABC):
+    """Engine results shaped like the legacy suite dict.
+
+    Behaves as a mapping ``benchmark -> [ExperimentResult, ...]`` in key
+    order — every ``repro.analysis.figures`` function consumes it
+    unchanged — while keeping the underlying :class:`JobOutcome` list
+    (and so the full telemetry) reachable.
+    """
+
+    results: Dict[str, List[ExperimentResult]]
+    outcomes: List[JobOutcome] = field(default_factory=list, repr=False)
+
+    def __getitem__(self, benchmark: str) -> List[ExperimentResult]:
+        return self.results[benchmark]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def telemetry(self) -> List[dict]:
+        """Per-job telemetry records, in submission order."""
+        return [o.record for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(o.cached for o in self.outcomes)
+
+    def write_telemetry(self, path: Union[str, Path]) -> Path:
+        """Persist the telemetry records as a JSON document."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(
+                {"schema": 1, "records": self.telemetry},
+                indent=1,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        return path
+
+
+def run_study(
+    *,
+    benchmarks: Union[str, Iterable[str]] = BENCHMARKS,
+    keys: Iterable[str] = EXPERIMENT_KEYS,
+    machine: Union[MachineSpec, str, None] = None,
+    nprocs: Optional[int] = None,
+    library: Optional[str] = None,
+    config_overrides: Optional[Mapping[str, ConfigOverride]] = None,
+    mode: Union[ExecutionMode, str] = ExecutionMode.TIMING,
+    jobs: Optional[int] = None,
+    cache: bool = True,
+    cache_dir: Union[str, Path, None] = None,
+    telemetry: Union[str, Path, None] = None,
+) -> StudyResult:
+    """Run the whole-program study through the experiment engine.
+
+    Keyword-only by design: every axis of the matrix is named.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmark name(s); defaults to the paper's four.
+    keys:
+        Experiment keys in output order; defaults to Figure 9's six.
+    machine, nprocs, library:
+        The target machine — a name (``"t3d"``/``"paragon"``) or a
+        :class:`MachineSpec`.  ``nprocs`` defaults to the paper's 64;
+        ``library=None`` uses each key's library.
+    config_overrides:
+        ``benchmark -> overrides`` where overrides are a mapping or an
+        iterable of ``"name=value"`` strings (parsed by
+        :func:`repro.frontend.parse_config_assignments`).
+    mode:
+        ``ExecutionMode`` or its value string; TIMING by default.
+    jobs, cache, cache_dir:
+        Engine knobs — see :class:`ExperimentEngine`.
+    telemetry:
+        Optional path; when given, the telemetry records are written
+        there as JSON.
+
+    Returns
+    -------
+    StudyResult
+        ``benchmark -> [ExperimentResult, ...]`` plus telemetry.
+    """
+    if isinstance(benchmarks, str):
+        benchmarks = (benchmarks,)
+    benchmarks = tuple(benchmarks)
+    keys = tuple(keys)
+    spec = MachineSpec.coerce(machine, nprocs=nprocs or 64, library=library)
+
+    matrix = build_matrix(
+        benchmarks, keys, machine=spec, config_overrides=config_overrides, mode=mode
+    )
+    engine = ExperimentEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    outcomes = engine.run(matrix)
+
+    results: Dict[str, List[ExperimentResult]] = {b: [] for b in benchmarks}
+    for outcome in outcomes:
+        results[outcome.job.benchmark].append(outcome.result)
+
+    study = StudyResult(results=results, outcomes=outcomes)
+    if telemetry is not None:
+        study.write_telemetry(telemetry)
+    return study

@@ -1,0 +1,154 @@
+"""Job model for the experiment engine.
+
+A :class:`Job` is one cell of the whole-program study's matrix —
+``experiment key x benchmark x machine`` — described entirely by
+picklable value objects so it can cross a ``ProcessPoolExecutor``
+boundary, and entirely by *content* so it can be fingerprinted for the
+on-disk result cache.
+
+The fingerprint is a SHA-256 over a canonical JSON document containing
+everything that can change the simulation's outcome: the benchmark's ZL
+source hash, the resolved :class:`~repro.comm.OptimizationConfig`, the
+machine binding (name, processor count, library), the *merged* config
+constants (defaults + overrides, so editing a benchmark's
+``DEFAULT_CONFIG`` invalidates old entries), the execution mode, and the
+engine/package versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ExperimentError
+from repro.machine import Machine, machine_by_name
+from repro.programs import benchmark_source, default_config
+
+#: Bump to invalidate every existing cache entry (schema or semantics
+#: changes in the engine itself).
+ENGINE_VERSION = 1
+
+ConfigValue = Union[int, float]
+
+
+@lru_cache(maxsize=None)
+def source_sha(benchmark: str) -> str:
+    """SHA-256 of a bundled benchmark's ZL source text."""
+    return hashlib.sha256(benchmark_source(benchmark).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine described by value, not by object.
+
+    ``library=None`` defers to the experiment key's library (PVM for the
+    message-passing keys, SHMEM for ``pl_shmem``/``pl_maxlat``) — the
+    paper's default binding.  An explicit library overrides the key, as
+    the ``machine`` argument of
+    :func:`~repro.analysis.experiments.run_experiment` always has.
+    """
+
+    name: str = "t3d"
+    nprocs: int = 64
+    library: Optional[str] = None
+
+    def build(self, default_library: Optional[str] = None) -> Machine:
+        """Materialize the simulated machine."""
+        return machine_by_name(
+            self.name, self.nprocs, self.library or default_library
+        )
+
+    @classmethod
+    def coerce(
+        cls,
+        machine: Union["MachineSpec", str, None],
+        nprocs: Optional[int] = None,
+        library: Optional[str] = None,
+    ) -> "MachineSpec":
+        """Accept a spec, a machine name, or None (the paper's T3D)."""
+        if machine is None:
+            machine = cls()
+        elif isinstance(machine, str):
+            machine = cls(name=machine)
+        elif not isinstance(machine, MachineSpec):
+            raise ExperimentError(
+                f"machine must be a name or MachineSpec, not {machine!r}"
+            )
+        if nprocs is not None:
+            machine = dataclasses.replace(machine, nprocs=nprocs)
+        if library is not None:
+            machine = dataclasses.replace(machine, library=library)
+        return machine
+
+
+@dataclass(frozen=True)
+class Job:
+    """One engine job: run ``benchmark`` under ``experiment`` on
+    ``machine`` with ``config`` overrides.
+
+    ``config`` is a sorted tuple of ``(name, value)`` pairs (hashable and
+    picklable); build jobs through :meth:`make` to pass a plain dict.
+    """
+
+    benchmark: str
+    experiment: str
+    machine: MachineSpec = MachineSpec()
+    config: Tuple[Tuple[str, ConfigValue], ...] = ()
+    mode: str = "timing"
+
+    @classmethod
+    def make(
+        cls,
+        benchmark: str,
+        experiment: str,
+        machine: Union[MachineSpec, str, None] = None,
+        config: Optional[Mapping[str, ConfigValue]] = None,
+        mode: str = "timing",
+    ) -> "Job":
+        return cls(
+            benchmark=benchmark,
+            experiment=experiment,
+            machine=MachineSpec.coerce(machine),
+            config=tuple(sorted((config or {}).items())),
+            mode=mode,
+        )
+
+    def merged_config(self) -> Dict[str, ConfigValue]:
+        """The benchmark's defaults with this job's overrides applied."""
+        merged = default_config(self.benchmark)
+        merged.update(dict(self.config))
+        return merged
+
+    def effective_library(self) -> str:
+        """The library the job will actually bind (spec or key default)."""
+        from repro.analysis.experiments import experiment_spec
+
+        return self.machine.library or experiment_spec(self.experiment).library
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this job for the result cache."""
+        import repro
+        from repro.analysis.experiments import experiment_spec
+
+        spec = experiment_spec(self.experiment)
+        payload = {
+            "engine": ENGINE_VERSION,
+            "repro": repro.__version__,
+            "benchmark": self.benchmark,
+            "source": source_sha(self.benchmark),
+            "experiment": self.experiment,
+            "opt": dataclasses.asdict(spec.opt),
+            "machine": {
+                "name": self.machine.name,
+                "nprocs": self.machine.nprocs,
+                "library": self.machine.library or spec.library,
+            },
+            "config": self.merged_config(),
+            "mode": self.mode,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()

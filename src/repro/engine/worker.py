@@ -1,0 +1,150 @@
+"""Job execution and the per-process compile cache.
+
+:func:`execute_job` is the function the engine submits — inline for
+serial runs, through a ``ProcessPoolExecutor`` for parallel ones — so it
+must be a module-level importable and everything it touches picklable.
+
+The compile cache is two-level, exploiting the structure of the paper's
+study:
+
+* **lowered** programs are keyed by ``(source hash, merged config)`` —
+  the front end (parse / analyze / lower) runs once per benchmark per
+  process, shared by all six experiment keys;
+* **optimized** programs are keyed by ``(source hash, merged config,
+  OptimizationConfig)`` — each program is optimized once *per opt
+  level*, not once per cell: ``pl`` and ``pl_shmem`` resolve to the same
+  ``OptimizationConfig.full()`` and reuse one optimized program, since
+  the library is a machine property, not a compiler property.
+
+Reuse is sound because :func:`repro.comm.optimize` returns a fresh
+program (documented non-mutating) and :func:`repro.runtime.simulate`
+never writes into the program it runs — the paper-table benchmarks
+already re-simulate one program object repeatedly.
+
+Caches are per-process: the serial path shares one across the whole
+study, each pool worker warms its own.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Tuple
+
+from repro.comm import OptimizationConfig, optimize
+from repro.ir.nodes import IRProgram
+from repro.programs import benchmark_source
+from repro.programs.common import compile_source
+from repro.runtime import ExecutionMode, simulate
+
+from repro.engine.cache import RECORD_SCHEMA
+from repro.engine.jobs import ConfigValue, Job, source_sha
+
+_ConfigItems = Tuple[Tuple[str, ConfigValue], ...]
+
+_LOWERED: Dict[Tuple[str, _ConfigItems], IRProgram] = {}
+_OPTIMIZED: Dict[Tuple[str, _ConfigItems, OptimizationConfig], IRProgram] = {}
+
+
+def clear_compile_cache() -> None:
+    """Drop this process's compiled programs (tests; long sessions)."""
+    _LOWERED.clear()
+    _OPTIMIZED.clear()
+
+
+def compile_cached(
+    benchmark: str, config_items: _ConfigItems, opt: OptimizationConfig
+) -> Tuple[IRProgram, float, float, bool, bool]:
+    """An optimized program for one benchmark, through the two-level
+    cache.
+
+    Returns ``(program, compile_seconds, optimize_seconds, lowered_hit,
+    optimized_hit)``; the wall times are 0.0 for phases served from
+    cache.
+    """
+    sha = source_sha(benchmark)
+    opt_key = (sha, config_items, opt)
+    cached = _OPTIMIZED.get(opt_key)
+    if cached is not None:
+        return cached, 0.0, 0.0, True, True
+
+    low_key = (sha, config_items)
+    lowered = _LOWERED.get(low_key)
+    lowered_hit = lowered is not None
+    compile_s = 0.0
+    if lowered is None:
+        t0 = time.perf_counter()
+        lowered = compile_source(
+            benchmark_source(benchmark),
+            f"{benchmark}.zl",
+            dict(config_items),
+            opt=None,
+        )
+        compile_s = time.perf_counter() - t0
+        _LOWERED[low_key] = lowered
+
+    t0 = time.perf_counter()
+    program = optimize(lowered, opt)
+    optimize_s = time.perf_counter() - t0
+    _OPTIMIZED[opt_key] = program
+    return program, compile_s, optimize_s, lowered_hit, False
+
+
+def execute_job(job: Job) -> dict:
+    """Run one job and return its JSON-safe record (result + telemetry).
+
+    The record is exactly what the result cache stores and what
+    :class:`~repro.engine.core.JobOutcome` reconstructs an
+    :class:`~repro.analysis.experiments.ExperimentResult` from — floats
+    survive the JSON round trip bit-exactly, so cached and fresh runs
+    render byte-identical tables.
+    """
+    from repro.analysis.experiments import experiment_spec
+
+    started = time.time()
+    t_total = time.perf_counter()
+    spec = experiment_spec(job.experiment)
+    machine = job.machine.build(spec.library)
+
+    merged = job.merged_config()
+    config_items = tuple(sorted(merged.items()))
+    program, compile_s, optimize_s, lowered_hit, optimized_hit = (
+        compile_cached(job.benchmark, config_items, spec.opt)
+    )
+
+    t0 = time.perf_counter()
+    result = simulate(program, machine, ExecutionMode(job.mode))
+    simulate_s = time.perf_counter() - t0
+
+    return {
+        "schema": RECORD_SCHEMA,
+        "fingerprint": job.fingerprint(),
+        "benchmark": job.benchmark,
+        "experiment": job.experiment,
+        "machine": job.machine.name,
+        "nprocs": job.machine.nprocs,
+        "library": machine.library,
+        "mode": job.mode,
+        "config": {str(k): v for k, v in merged.items()},
+        "result": {
+            "static_count": int(result.static_comm_count),
+            "dynamic_count": int(result.dynamic_comm_count),
+            "execution_time": float(result.time),
+            "total_messages": int(result.instrument.total_messages),
+            "total_bytes": int(result.instrument.total_bytes),
+            "warnings": list(result.warnings),
+        },
+        "timings": {
+            "compile_s": compile_s,
+            "optimize_s": optimize_s,
+            "simulate_s": simulate_s,
+            "total_s": time.perf_counter() - t_total,
+        },
+        "compile_cache": {
+            "lowered_hit": lowered_hit,
+            "optimized_hit": optimized_hit,
+        },
+        "cache_hit": False,
+        "worker_pid": os.getpid(),
+        "started_at": started,
+    }

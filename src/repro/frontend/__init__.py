@@ -22,5 +22,14 @@ from repro.frontend.ast import Program
 from repro.frontend.lexer import tokenize
 from repro.frontend.parser import parse
 from repro.frontend.semantic import ProgramInfo, analyze
+from repro.frontend.source import parse_config_assignments, parse_config_value
 
-__all__ = ["tokenize", "parse", "analyze", "Program", "ProgramInfo"]
+__all__ = [
+    "tokenize",
+    "parse",
+    "analyze",
+    "Program",
+    "ProgramInfo",
+    "parse_config_assignments",
+    "parse_config_value",
+]

@@ -1,14 +1,58 @@
-"""Source text bookkeeping: locations and snippet extraction.
+"""Source text bookkeeping: locations, snippets, and config parsing.
 
 Every token and AST node carries a :class:`SourceLocation` so that errors
 anywhere in the pipeline (including semantic analysis, which runs long
 after lexing) can point at the offending source line.
+
+This module also owns :func:`parse_config_assignments`, the shared
+parser for ``name=value`` config-constant overrides — used by the CLI's
+``--config`` flag and by :func:`repro.run_study`'s string-form
+``config_overrides`` — so every entry point agrees on what a config
+literal is (ints stay ints; anything else float-parses, which admits
+scientific notation like ``eps=1e-6``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, Iterable, List, Optional, Union
+
+ConfigValue = Union[int, float]
+
+
+def parse_config_value(text: str) -> ConfigValue:
+    """Parse one config-constant literal.
+
+    Integer literals stay ``int`` (config constants are mostly sizes and
+    trip counts); everything else falls back to ``float``, so decimal
+    (``0.5``) and scientific (``1e-6``, ``2.5E3``) forms both work.
+    """
+    try:
+        return int(text, 10)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"bad config value {text!r}; use an int or float") from None
+
+
+def parse_config_assignments(
+    pairs: Optional[Iterable[str]],
+) -> Dict[str, ConfigValue]:
+    """Parse ``name=value`` assignment strings into a config dict.
+
+    Accepts None or any iterable of strings; raises ``ValueError`` on a
+    missing ``=`` or an empty name, or an unparsable value.
+    """
+    out: Dict[str, ConfigValue] = {}
+    for pair in pairs or ():
+        name, eq, value = pair.partition("=")
+        name = name.strip()
+        if not eq or not name:
+            raise ValueError(f"bad config assignment {pair!r}; use name=value")
+        out[name] = parse_config_value(value.strip())
+    return out
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,14 @@ from repro.programs.registry import (
     BENCHMARKS,
     build_benchmark,
     benchmark_source,
+    default_config,
     small_config,
 )
 
-__all__ = ["BENCHMARKS", "build_benchmark", "benchmark_source", "small_config"]
+__all__ = [
+    "BENCHMARKS",
+    "build_benchmark",
+    "benchmark_source",
+    "default_config",
+    "small_config",
+]

@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.analysis import EXPERIMENT_KEYS, experiment_spec, run_experiment
+from repro.analysis import (
+    EXPERIMENT_KEYS,
+    ExperimentSpec,
+    experiment_spec,
+    run_experiment,
+)
 from repro.analysis.experiments import run_benchmark_suite
+from repro.comm import OptimizationConfig
 from repro.errors import ExperimentError
 from repro.programs import small_config
 
@@ -38,6 +44,31 @@ def test_shmem_keys_use_shmem_library():
 def test_unknown_key_rejected():
     with pytest.raises(ExperimentError, match="valid"):
         experiment_spec("super_opt")
+
+
+def test_spec_is_a_named_dataclass():
+    spec = experiment_spec("pl_maxlat")
+    assert isinstance(spec, ExperimentSpec)
+    assert spec.key == "pl_maxlat"
+    assert spec.opt == OptimizationConfig.full_max_latency()
+    assert spec.library == "shmem"
+    assert "latency" in spec.description
+
+
+def test_spec_tuple_shim_unpacks_with_deprecation():
+    spec = experiment_spec("cc")
+    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+        opt, library, description = spec
+    assert (opt, library, description) == (
+        spec.opt,
+        spec.library,
+        spec.description,
+    )
+    assert len(spec) == 3
+    with pytest.warns(DeprecationWarning):
+        assert spec[1] == "pvm"
+    with pytest.warns(DeprecationWarning):
+        assert tuple(spec) == (spec.opt, spec.library, spec.description)
 
 
 def test_run_experiment_returns_counts_and_time():

@@ -1,0 +1,209 @@
+"""Tests for the parallel cached experiment engine."""
+
+import json
+
+import pytest
+
+from repro import run_study
+from repro.analysis.experiments import run_benchmark_suite
+from repro.engine import (
+    ExperimentEngine,
+    Job,
+    MachineSpec,
+    ResultCache,
+    build_matrix,
+    clear_compile_cache,
+)
+from repro.errors import ExperimentError
+from repro.programs import small_config
+
+SWM_SMALL = small_config("swm")
+
+
+def _study(cache_dir, **kwargs):
+    kwargs.setdefault("benchmarks", ("swm",))
+    kwargs.setdefault("keys", ("baseline", "cc"))
+    kwargs.setdefault("nprocs", 16)
+    kwargs.setdefault("config_overrides", {"swm": SWM_SMALL})
+    kwargs.setdefault("cache_dir", cache_dir)
+    return run_study(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# job model and fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_matrix_is_benchmark_major_key_ordered():
+    jobs = build_matrix(["swm", "sp"], keys=("baseline", "cc"))
+    assert [(j.benchmark, j.experiment) for j in jobs] == [
+        ("swm", "baseline"),
+        ("swm", "cc"),
+        ("sp", "baseline"),
+        ("sp", "cc"),
+    ]
+
+
+def test_fingerprint_is_stable_and_content_sensitive():
+    job = Job.make("swm", "cc", config=SWM_SMALL, machine=MachineSpec(nprocs=16))
+    assert job.fingerprint() == job.fingerprint()
+    # every axis of the matrix moves the fingerprint
+    assert job.fingerprint() != Job.make(
+        "swm", "pl", config=SWM_SMALL, machine=MachineSpec(nprocs=16)
+    ).fingerprint()
+    assert job.fingerprint() != Job.make(
+        "swm", "cc", config=SWM_SMALL, machine=MachineSpec(nprocs=64)
+    ).fingerprint()
+    assert job.fingerprint() != Job.make(
+        "swm", "cc", config=dict(SWM_SMALL, nsteps=99), machine=MachineSpec(nprocs=16)
+    ).fingerprint()
+
+
+def test_pl_and_pl_shmem_share_a_compile_but_not_a_fingerprint():
+    pl = Job.make("swm", "pl", machine=MachineSpec(nprocs=16))
+    sh = Job.make("swm", "pl_shmem", machine=MachineSpec(nprocs=16))
+    # different cells (library differs) ...
+    assert pl.fingerprint() != sh.fingerprint()
+    assert pl.effective_library() == "pvm"
+    assert sh.effective_library() == "shmem"
+
+
+def test_engine_rejects_bad_worker_count():
+    with pytest.raises(ExperimentError, match="jobs"):
+        ExperimentEngine(jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# result cache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cold = _study(tmp_path)
+    assert cold.cache_hits == 0
+    assert all(not o.cached for o in cold.outcomes)
+
+    warm = _study(tmp_path)
+    assert warm.cache_hits == len(warm.outcomes) == 2
+    assert all(o.record["cache_hit"] for o in warm.outcomes)
+    # cached results reconstruct the exact ExperimentResult values
+    assert dict(warm.results) == dict(cold.results)
+
+
+def test_no_cache_never_writes(tmp_path):
+    root = tmp_path / "cache"
+    study = _study(root, cache=False)
+    assert study.cache_hits == 0
+    assert not root.exists()
+    # and a second no-cache run recomputes rather than hitting anything
+    again = _study(root, cache=False)
+    assert again.cache_hits == 0
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    _study(tmp_path)
+    entries = list(tmp_path.rglob("*.json"))
+    assert len(entries) == 2
+    entries[0].write_text("{ not json")
+    entries[1].write_text(json.dumps({"schema": -1}))
+    study = _study(tmp_path)
+    assert study.cache_hits == 0
+    assert len(study.outcomes) == 2
+
+
+def test_cache_record_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("ab" * 32) is None
+    record = {"schema": 1, "fingerprint": "ab" * 32, "x": 1.5}
+    cache.put("ab" * 32, record)
+    assert cache.get("ab" * 32) == record
+    # a record filed under the wrong fingerprint is rejected
+    cache.put("cd" * 32, record)
+    assert cache.get("cd" * 32) is None
+
+
+# ---------------------------------------------------------------------------
+# parallel execution
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_matches_serial(tmp_path):
+    serial = _study(tmp_path / "a", cache=False)
+    parallel = _study(tmp_path / "b", cache=False, jobs=2)
+    assert dict(serial.results) == dict(parallel.results)
+
+
+def test_parallel_populates_shared_cache(tmp_path):
+    _study(tmp_path, jobs=2)
+    warm = _study(tmp_path, jobs=2)
+    assert warm.cache_hits == 2
+
+
+# ---------------------------------------------------------------------------
+# study facade and telemetry
+# ---------------------------------------------------------------------------
+
+
+def test_run_study_is_keyword_only():
+    with pytest.raises(TypeError):
+        run_study(("swm",))  # noqa: positional on purpose
+
+
+def test_study_result_behaves_like_the_suite_dict(tmp_path):
+    study = _study(tmp_path)
+    assert set(study) == {"swm"}
+    assert len(study) == 1
+    assert "swm" in study
+    assert [r.experiment for r in study["swm"]] == ["baseline", "cc"]
+    assert dict(study.items())["swm"] is study["swm"]
+
+
+def test_legacy_suite_api_unchanged_shape(tmp_path):
+    results = run_benchmark_suite(
+        ["swm"],
+        keys=("baseline", "cc"),
+        nprocs=16,
+        config_overrides={"swm": SWM_SMALL},
+    )
+    assert isinstance(results, dict)
+    assert [r.experiment for r in results["swm"]] == ["baseline", "cc"]
+    base, cc = results["swm"]
+    assert cc.execution_time < base.execution_time
+
+
+def test_telemetry_records_and_file(tmp_path):
+    out = tmp_path / "telemetry.json"
+    study = _study(tmp_path / "cache", telemetry=out)
+    assert len(study.telemetry) == 2
+    rec = study.telemetry[0]
+    assert rec["benchmark"] == "swm"
+    assert rec["experiment"] == "baseline"
+    assert rec["nprocs"] == 16
+    assert rec["result"]["dynamic_count"] > 0
+    assert rec["result"]["total_messages"] > 0
+    assert rec["result"]["total_bytes"] > 0
+    assert rec["timings"]["simulate_s"] > 0
+    assert rec["timings"]["total_s"] >= rec["timings"]["simulate_s"]
+
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == 1
+    assert [r["experiment"] for r in doc["records"]] == ["baseline", "cc"]
+
+
+def test_compile_cache_shares_frontend_work(tmp_path):
+    # serial run: the second key of the same benchmark reuses the lowered
+    # program, and cc follows baseline so only optimize re-runs
+    clear_compile_cache()
+    study = _study(tmp_path, cache=False)
+    first, second = study.telemetry
+    assert not first["compile_cache"]["lowered_hit"]
+    assert second["compile_cache"]["lowered_hit"]
+    assert first["timings"]["compile_s"] > 0
+    assert second["timings"]["compile_s"] == 0.0
+
+
+def test_config_overrides_accept_assignment_strings(tmp_path):
+    pairs = [f"{k}={v}" for k, v in SWM_SMALL.items()]
+    from_strings = _study(tmp_path / "a", config_overrides={"swm": pairs})
+    from_dict = _study(tmp_path / "b", config_overrides={"swm": SWM_SMALL})
+    assert dict(from_strings.results) == dict(from_dict.results)

@@ -30,3 +30,46 @@ def test_snippet_has_caret_at_column():
 def test_location_factory_uses_filename():
     src = SourceFile("x", "name.zl")
     assert src.location(1, 1).filename == "name.zl"
+
+
+# ---------------------------------------------------------------------------
+# config-assignment parsing (shared by the CLI and run_study)
+# ---------------------------------------------------------------------------
+
+import pytest
+
+from repro.frontend.source import parse_config_assignments, parse_config_value
+
+
+def test_parse_config_value_int_stays_int():
+    assert parse_config_value("64") == 64
+    assert isinstance(parse_config_value("64"), int)
+    assert parse_config_value("-3") == -3
+
+
+def test_parse_config_value_floats_and_scientific_notation():
+    assert parse_config_value("0.5") == 0.5
+    assert parse_config_value("1e-6") == 1e-6
+    assert parse_config_value("2.5E3") == 2500.0
+    assert parse_config_value("-1e2") == -100.0
+
+
+def test_parse_config_value_rejects_garbage():
+    with pytest.raises(ValueError, match="bad config value"):
+        parse_config_value("sixty-four")
+
+
+def test_parse_config_assignments():
+    assert parse_config_assignments(["n=16", "eps=1e-6"]) == {
+        "n": 16,
+        "eps": 1e-6,
+    }
+    assert parse_config_assignments(None) == {}
+    assert parse_config_assignments(["n = 8"]) == {"n": 8}
+
+
+def test_parse_config_assignments_rejects_bad_pairs():
+    with pytest.raises(ValueError, match="name=value"):
+        parse_config_assignments(["n:4"])
+    with pytest.raises(ValueError, match="name=value"):
+        parse_config_assignments(["=4"])

@@ -52,3 +52,50 @@ def test_figure6_subcommand(capsys):
 def test_bad_config_syntax(mini_file):
     with pytest.raises(SystemExit):
         main(["compile", mini_file, "--config", "n:4"])
+
+
+def test_config_accepts_scientific_notation(mini_file, capsys):
+    # 1e1 == 10: an integral float is a valid integer-config override
+    # (this used to crash in --config parsing before reaching the front end)
+    assert main(["compile", mini_file, "--config", "n=1e1"]) == 0
+    out = capsys.readouterr().out
+    assert "_i1 <= 10" in out
+
+
+def test_bad_config_value_exits_cleanly(mini_file):
+    with pytest.raises(SystemExit, match="config value"):
+        main(["compile", mini_file, "--config", "n=ten"])
+
+
+def test_experiments_engine_flags(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    telemetry = tmp_path / "telemetry.json"
+    argv = [
+        "experiments",
+        "--bench", "swm",
+        "--procs", "16",
+        "--config", "n=16",
+        "--config", "nsteps=3",
+        "--jobs", "2",
+        "--cache-dir", str(cache_dir),
+        "--telemetry", str(telemetry),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "Figure 8" in cold and "Table 1 — swm" in cold
+    assert telemetry.exists()
+    assert cache_dir.exists()
+
+    # warm re-run over the cache renders byte-identical tables
+    assert main(argv) == 0
+    assert capsys.readouterr().out == cold
+
+
+def test_experiments_no_cache_leaves_no_cache_dir(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main([
+        "experiments", "--bench", "swm", "--procs", "16",
+        "--config", "n=16", "--config", "nsteps=2",
+        "--no-cache", "--cache-dir", str(cache_dir),
+    ]) == 0
+    assert not cache_dir.exists()
