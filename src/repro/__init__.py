@@ -52,8 +52,15 @@ Quickstart
 2
 """
 
-from repro.analysis.experiments import ExperimentSpec, experiment_spec
-from repro.comm import OptimizationConfig, optimize, static_comm_count
+from repro.comm import (
+    OptimizationConfig,
+    PassPipeline,
+    PipelineReport,
+    optimize,
+    optimize_with_report,
+    static_comm_count,
+)
+from repro.experiments_registry import ExperimentSpec, experiment_spec
 from repro.engine import ExperimentEngine, Job, MachineSpec, StudyResult, run_study
 from repro.errors import (
     LexError,
@@ -81,6 +88,9 @@ __all__ = [
     "compile_program",
     "emit_c",
     "OptimizationConfig",
+    "PassPipeline",
+    "PipelineReport",
+    "optimize_with_report",
     "static_comm_count",
     # the experiment engine
     "run_study",

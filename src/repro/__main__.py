@@ -17,7 +17,13 @@ Commands
     through the experiment engine and print every regenerated table
     (``--bench`` to restrict, ``--jobs N`` to parallelize, ``--no-cache``
     to bypass the on-disk result cache, ``--telemetry PATH`` to dump
-    per-job run records).
+    per-job run records, ``--explain`` to append the per-pass
+    attribution tables built from the pipeline telemetry).
+
+``passes``
+    List the registered optimizer passes and their legality constraints;
+    with ``--key KEY``, show the pass pipeline that experiment key
+    compiles to.
 
 ``figure6``
     Run the synthetic overhead benchmark and print the Figure 6 curves.
@@ -39,7 +45,9 @@ from repro import (
     simulate,
 )
 from repro.analysis import EXPERIMENT_KEYS, experiment_spec, format_table
+from repro.analysis import attribution as attr
 from repro.analysis import figures as fig
+from repro.comm import registered_passes
 from repro.frontend import parse_config_assignments
 from repro.programs import BENCHMARKS
 
@@ -125,6 +133,42 @@ def cmd_experiments(args) -> int:
                 title=f"Table {i} — {bench} ({args.procs} processors)",
             )
         )
+    if args.explain:
+        print()
+        print(
+            format_table(
+                *attr.figure8_by_pass(results),
+                title="Figure 8, by pass — fraction of naive static count",
+            )
+        )
+        print()
+        print(
+            format_table(
+                *attr.pass_attribution(results),
+                title="Per-pass attribution (all cells)",
+            )
+        )
+    return 0
+
+
+def cmd_passes(args) -> int:
+    if args.key:
+        spec = experiment_spec(args.key)
+        pipeline = spec.pipeline()
+        print(f"{args.key}: {spec.description}")
+        print(f"  opt:      {spec.opt.describe()}")
+        print(f"  pipeline: {pipeline.describe()}")
+        return 0
+    for cls in registered_passes().values():
+        constraints = []
+        if cls.requires:
+            constraints.append(f"requires {', '.join(cls.requires)}")
+        if cls.after:
+            constraints.append(f"after {', '.join(cls.after)}")
+        if cls.terminal:
+            constraints.append("terminal")
+        suffix = f"  [{'; '.join(constraints)}]" if constraints else ""
+        print(f"{cls.name:12s} {cls().describe()}{suffix}")
     return 0
 
 
@@ -172,7 +216,17 @@ def main(argv=None) -> int:
                    "or $REPRO_CACHE_DIR)")
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help="write per-job telemetry records as JSON")
+    p.add_argument("--explain", action="store_true",
+                   help="append per-pass attribution tables (which pass "
+                   "accounts for how much of each reduction)")
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "passes", help="list optimizer passes or dump a key's pipeline"
+    )
+    p.add_argument("--key", default=None, choices=EXPERIMENT_KEYS,
+                   help="show the pipeline this experiment key compiles to")
+    p.set_defaults(func=cmd_passes)
 
     p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")
     p.add_argument("--reps", type=int, default=1000)

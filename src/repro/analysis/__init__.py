@@ -1,12 +1,20 @@
 """The experiment harness: the paper's evaluation section as code.
 
-:mod:`repro.analysis.experiments` defines the experiment keys of the
-paper's Figure 9 and runs benchmark x experiment grids (submitted
-through the :mod:`repro.engine` job engine);
+:mod:`repro.analysis.experiments` runs benchmark x experiment grids
+(submitted through the :mod:`repro.engine` job engine) over the keys
+defined in :mod:`repro.experiments_registry`;
 :mod:`repro.analysis.figures` regenerates each figure/table's rows;
+:mod:`repro.analysis.attribution` breaks each cell's reduction down by
+optimizer pass using engine telemetry;
 :mod:`repro.analysis.report` renders them as aligned text tables.
 """
 
+from repro.analysis.attribution import (
+    figure8_by_pass,
+    pass_attribution,
+    pipeline_report,
+    report_reconciles,
+)
 from repro.analysis.experiments import (
     EXPERIMENT_KEYS,
     ExperimentResult,
@@ -22,6 +30,10 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "experiment_spec",
+    "figure8_by_pass",
+    "pass_attribution",
+    "pipeline_report",
+    "report_reconciles",
     "run_experiment",
     "run_benchmark_suite",
     "format_table",

@@ -1,24 +1,12 @@
-"""Experiment keys and drivers (the paper's Figure 9).
+"""Experiment drivers over the key registry (the paper's Figure 9).
 
-==================  =============================================  ========
-key                 description                                    library
-==================  =============================================  ========
-baseline            message vectorization                          pvm
-rr                  baseline + redundant communication removal     pvm
-cc                  rr + communication combination                 pvm
-pl                  cc + communication pipelining                  pvm
-pl_shmem            pl using shmem_put                             shmem
-pl_maxlat           pl with shmem, combining for max latency       shmem
-==================  =============================================  ========
-
-The paper's experiments are *cumulative* — each key adds one
-optimization — and the library is an orthogonal axis that the last two
-keys flip to SHMEM.
-
-An experiment key resolves to an :class:`ExperimentSpec` (key, opt,
-library, description).  ``experiment_spec`` historically returned a bare
-``(opt, library, description)`` tuple; the spec still unpacks that way
-through a deprecation shim, but new code should use the named fields.
+The experiment-key table itself lives in
+:mod:`repro.experiments_registry` — a module deliberately below both
+this package and :mod:`repro.engine`, so the engine can fingerprint
+resolved pipelines without importing the analysis layer.  Every
+historical name (``EXPERIMENT_KEYS``, ``ExperimentSpec``,
+``ExperimentResult``, ``experiment_spec``) is re-exported here
+unchanged.
 
 The grid drivers (:func:`run_benchmark_suite`) submit through
 :mod:`repro.engine` — the parallel, content-addressed engine — rather
@@ -28,142 +16,27 @@ facade.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
-from repro.comm import OptimizationConfig
-from repro.errors import ExperimentError
+from repro.experiments_registry import (
+    EXPERIMENT_KEYS,
+    ExperimentResult,
+    ExperimentSpec,
+    experiment_spec,
+)
 from repro.machine import t3d
 from repro.machine.params import Machine
 from repro.programs import build_benchmark
 from repro.runtime import ExecutionMode, simulate
 
-#: Experiment keys in the paper's presentation order.
-EXPERIMENT_KEYS: Tuple[str, ...] = (
-    "baseline",
-    "rr",
-    "cc",
-    "pl",
-    "pl_shmem",
-    "pl_maxlat",
-)
-
-
-@dataclass(frozen=True)
-class ExperimentSpec:
-    """One of the paper's experiment configurations, by name.
-
-    Attributes
-    ----------
-    key:
-        The experiment key (``"baseline"`` ... ``"pl_maxlat"``).
-    opt:
-        The resolved :class:`~repro.comm.OptimizationConfig`.
-    library:
-        The communication library the paper pairs with the key (``pvm``
-        for the message-passing keys, ``shmem`` for the last two).
-    description:
-        The paper's cumulative description of the configuration.
-    """
-
-    key: str
-    opt: OptimizationConfig
-    library: str
-    description: str
-
-    # -- deprecation shim: the pre-engine API returned a bare
-    # (opt, library, description) 3-tuple; keep unpacking working.
-    def __iter__(self) -> Iterator:
-        warnings.warn(
-            "unpacking an ExperimentSpec as an (opt, library, description) "
-            "tuple is deprecated; use the .opt/.library/.description fields "
-            "(and .key) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return iter((self.opt, self.library, self.description))
-
-    def __len__(self) -> int:
-        return 3
-
-    def __getitem__(self, index):
-        warnings.warn(
-            "indexing an ExperimentSpec like a tuple is deprecated; use "
-            "the .opt/.library/.description fields instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return (self.opt, self.library, self.description)[index]
-
-
-_SPECS: Dict[str, ExperimentSpec] = {
-    spec.key: spec
-    for spec in (
-        ExperimentSpec(
-            "baseline",
-            OptimizationConfig.baseline(),
-            "pvm",
-            "message vectorization",
-        ),
-        ExperimentSpec(
-            "rr",
-            OptimizationConfig.rr_only(),
-            "pvm",
-            "baseline with removing redundant communication",
-        ),
-        ExperimentSpec(
-            "cc",
-            OptimizationConfig.rr_cc(),
-            "pvm",
-            "rr with combining communication",
-        ),
-        ExperimentSpec(
-            "pl",
-            OptimizationConfig.full(),
-            "pvm",
-            "cc with pipelining",
-        ),
-        ExperimentSpec(
-            "pl_shmem",
-            OptimizationConfig.full(),
-            "shmem",
-            "pl using shmem_put",
-        ),
-        ExperimentSpec(
-            "pl_maxlat",
-            OptimizationConfig.full_max_latency(),
-            "shmem",
-            "pl with shmem, combining for maximum latency hiding",
-        ),
-    )
-}
-
-
-def experiment_spec(key: str) -> ExperimentSpec:
-    """The :class:`ExperimentSpec` for an experiment key."""
-    try:
-        return _SPECS[key]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown experiment {key!r} (valid: {', '.join(EXPERIMENT_KEYS)})"
-        ) from None
-
-
-@dataclass(frozen=True)
-class ExperimentResult:
-    """One cell of a Table 1-4 style table."""
-
-    benchmark: str
-    experiment: str
-    library: str
-    static_count: int
-    dynamic_count: int
-    execution_time: float
-
-    def scaled_to(self, baseline: "ExperimentResult") -> float:
-        """Execution time relative to a baseline run (the paper's plots)."""
-        return self.execution_time / baseline.execution_time
+__all__ = [
+    "EXPERIMENT_KEYS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "experiment_spec",
+    "run_experiment",
+    "run_benchmark_suite",
+]
 
 
 def run_experiment(

@@ -23,16 +23,45 @@ Pipeline
 5. The plan is materialized back into IRONMAN :class:`~repro.ir.nodes.CommCall`
    statements interleaved with the block's core statements.
 
-:func:`repro.comm.optimizer.optimize` drives the pipeline from an
-:class:`~repro.comm.optimizer.OptimizationConfig`.
+Steps 2-4 are :class:`~repro.comm.passes.CommPass` instances run by an
+instrumented :class:`~repro.comm.passes.PassPipeline` (per-pass
+statistics, legality-checked ordering, optional verifier);
+:class:`~repro.comm.optimizer.OptimizationConfig` is the thin factory
+compiling the paper's experiment keys to pipelines, and
+:func:`repro.comm.optimizer.optimize` /
+:func:`repro.comm.optimizer.optimize_with_report` drive them over whole
+programs.
 """
 
-from repro.comm.optimizer import OptimizationConfig, optimize
+from repro.comm.optimizer import (
+    OptimizationConfig,
+    optimize,
+    optimize_with_report,
+)
+from repro.comm.passes import (
+    CommPass,
+    PassContext,
+    PassPipeline,
+    PassStats,
+    PipelineReport,
+    make_pass,
+    register_pass,
+    registered_passes,
+)
 from repro.comm.counts import static_comm_count, static_call_count
 
 __all__ = [
+    "CommPass",
     "OptimizationConfig",
+    "PassContext",
+    "PassPipeline",
+    "PassStats",
+    "PipelineReport",
+    "make_pass",
     "optimize",
+    "optimize_with_report",
+    "register_pass",
+    "registered_passes",
     "static_comm_count",
     "static_call_count",
 ]

@@ -31,7 +31,6 @@ are where the opportunity lives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.comm.planning import BlockPlan

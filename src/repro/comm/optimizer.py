@@ -17,23 +17,32 @@ pl_maxlat      on    on    on    max_latency
 
 (The library — PVM vs SHMEM vs NX — is a *machine* property, not a
 compiler property; the same optimized program runs against any binding.)
+
+Since the pass-pipeline refactor, :class:`OptimizationConfig` is a thin
+factory: :meth:`OptimizationConfig.pipeline` compiles the booleans to a
+:class:`~repro.comm.passes.PassPipeline`, and the driver here only walks
+the program body, threading the inter-block context through structured
+statements.  :func:`optimize_with_report` additionally returns the
+pipeline's per-pass :class:`~repro.comm.passes.PipelineReport`, which
+the experiment engine records in job telemetry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-from repro.comm.combining import HEURISTICS, combine
-from repro.comm.interblock import (
-    AvailableSet,
-    exit_available,
-    remove_entry_available,
+from repro.comm.combining import HEURISTICS
+from repro.comm.interblock import AvailableSet
+from repro.comm.passes import (
+    CombiningPass,
+    InterblockPass,
+    PassContext,
+    PassPipeline,
+    PipelineReport,
+    PipeliningPass,
+    RedundancyPass,
 )
-from repro.comm.materialize import materialize
-from repro.comm.pipelining import place_calls
-from repro.comm.planning import plan_naive
-from repro.comm.redundancy import remove_redundant
 from repro.errors import OptimizationError
 from repro.ir import nodes as ir
 
@@ -110,6 +119,24 @@ class OptimizationConfig:
             parts.append("pl")
         return "+".join(parts) if parts else "baseline"
 
+    def pipeline(self, verify: bool = False) -> PassPipeline:
+        """Compile this config to its :class:`PassPipeline`.
+
+        The pipeline order is the paper's cumulative order — removal,
+        then combination, then pipelining — which is also the only order
+        the passes' own legality constraints admit.
+        """
+        passes: list = []
+        if self.rr:
+            passes.append(RedundancyPass())
+        if self.rr_interblock:
+            passes.append(InterblockPass())
+        if self.cc:
+            passes.append(CombiningPass(self.combine_heuristic))
+        if self.pl:
+            passes.append(PipeliningPass())
+        return PassPipeline(passes, verify=verify)
+
 
 def optimize_block(
     block: ir.Block,
@@ -121,31 +148,27 @@ def optimize_block(
     ``avail`` is the inter-block available-transfer set (mutated to the
     block's exit state when rr_interblock is on; pass None otherwise).
     """
-    plan = plan_naive(block)
-    if config.rr:
-        remove_redundant(plan)
-    if config.rr_interblock and avail is not None:
-        remove_entry_available(plan, avail)
-        new_avail = exit_available(plan, avail)
-        avail.clear()
-        avail.update(new_avail)
-    if config.cc:
-        combine(plan, config.combine_heuristic)
-    placements = place_calls(plan, pipelining=config.pl)
-    return materialize(plan, placements)
+    pipeline = config.pipeline()
+    new_block, _, _ = pipeline.run_block(block, PassContext(avail=avail))
+    return new_block
 
 
 def _optimize_body(
     body: List[ir.IRStmt],
-    config: OptimizationConfig,
+    pipeline: PassPipeline,
+    report: PipelineReport,
     avail: Optional[AvailableSet] = None,
 ) -> List[ir.IRStmt]:
-    if avail is None and config.rr_interblock:
+    if avail is None and pipeline.has("interblock"):
         avail = {}
     out: List[ir.IRStmt] = []
     for stmt in body:
         if isinstance(stmt, ir.Block):
-            out.append(optimize_block(stmt, config, avail))
+            new_block, planned, stats = pipeline.run_block(
+                stmt, PassContext(avail=avail)
+            )
+            report.record_block(planned, len(new_block.descriptors()), stats)
+            out.append(new_block)
         elif isinstance(stmt, ir.ForLoop):
             # conservative dataflow: the loop body starts with nothing
             # available and contributes nothing to the code after it
@@ -155,7 +178,7 @@ def _optimize_body(
                     low=stmt.low,
                     high=stmt.high,
                     step=stmt.step,
-                    body=_optimize_body(stmt.body, config),
+                    body=_optimize_body(stmt.body, pipeline, report),
                 )
             )
             if avail is not None:
@@ -163,7 +186,7 @@ def _optimize_body(
         elif isinstance(stmt, ir.RepeatLoop):
             out.append(
                 ir.RepeatLoop(
-                    body=_optimize_body(stmt.body, config),
+                    body=_optimize_body(stmt.body, pipeline, report),
                     cond=stmt.cond,
                     max_trips=stmt.max_trips,
                 )
@@ -174,10 +197,10 @@ def _optimize_body(
             out.append(
                 ir.IfStmt(
                     arms=[
-                        (cond, _optimize_body(arm, config))
+                        (cond, _optimize_body(arm, pipeline, report))
                         for cond, arm in stmt.arms
                     ],
-                    orelse=_optimize_body(stmt.orelse, config),
+                    orelse=_optimize_body(stmt.orelse, pipeline, report),
                 )
             )
             if avail is not None:
@@ -185,6 +208,35 @@ def _optimize_body(
         else:  # pragma: no cover - defensive
             raise OptimizationError(f"unexpected IR statement {stmt!r}")
     return out
+
+
+def optimize_with_report(
+    program: ir.IRProgram,
+    config: OptimizationConfig,
+    verify: bool = False,
+) -> Tuple[ir.IRProgram, PipelineReport]:
+    """Like :func:`optimize`, but also return the per-pass
+    :class:`~repro.comm.passes.PipelineReport` of what each pass did.
+
+    ``verify=True`` additionally runs the plan/IR verifier after every
+    pass (slower; tests and debugging).
+    """
+    for block in program.walk_blocks():
+        if block.comm_calls():
+            raise OptimizationError(
+                "optimize() expects a communication-free program; "
+                "re-lower the source instead of re-optimizing"
+            )
+    pipeline = config.pipeline(verify=verify)
+    report = PipelineReport(signature=pipeline.signature())
+    optimized = ir.IRProgram(
+        name=program.name,
+        body=_optimize_body(program.body, pipeline, report),
+        arrays=dict(program.arrays),
+        scalars=list(program.scalars),
+        config_values=dict(program.config_values),
+    )
+    return optimized, report
 
 
 def optimize(program: ir.IRProgram, config: OptimizationConfig) -> ir.IRProgram:
@@ -195,16 +247,5 @@ def optimize(program: ir.IRProgram, config: OptimizationConfig) -> ir.IRProgram:
     is a new :class:`~repro.ir.nodes.IRProgram` sharing core statements
     with the input but with fresh blocks containing IRONMAN calls.
     """
-    for block in program.walk_blocks():
-        if block.comm_calls():
-            raise OptimizationError(
-                "optimize() expects a communication-free program; "
-                "re-lower the source instead of re-optimizing"
-            )
-    return ir.IRProgram(
-        name=program.name,
-        body=_optimize_body(program.body, config),
-        arrays=dict(program.arrays),
-        scalars=list(program.scalars),
-        config_values=dict(program.config_values),
-    )
+    optimized, _ = optimize_with_report(program, config)
+    return optimized

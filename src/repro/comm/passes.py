@@ -1,0 +1,496 @@
+"""The communication optimizer as an instrumented pass pipeline.
+
+The paper's optimizer is a fixed sequence of transformations over a
+block's planned communications.  This module makes that sequence a
+first-class object: a :class:`PassPipeline` of named :class:`CommPass`
+instances, each reporting what it actually did (:class:`PassStats`), with
+legality constraints validated at construction and an optional verifier
+run between passes.  :class:`~repro.comm.optimizer.OptimizationConfig`
+is a thin factory over this layer — ``config.pipeline()`` compiles the
+paper's five experiment keys to the same five pipelines the hardcoded
+driver used to run, byte-identically.
+
+Pass anatomy
+------------
+
+A pass transforms one block's :class:`~repro.comm.planning.BlockPlan` in
+place and returns a :class:`PassStats`.  Shared state across blocks (the
+inter-block available set, the placement list handed to materialization)
+travels in a :class:`PassContext`.  Ordering legality is declared on the
+pass class:
+
+``requires``
+    Pass names that **must** appear earlier in the pipeline
+    (``interblock`` requires ``redundancy``: entry-available removal
+    assumes single-member plans and intra-block folding already done).
+``after``
+    Pass names that, *when present*, must appear earlier (``combining``
+    must not precede either removal pass — removal asserts single-member
+    plans).
+``terminal``
+    No pass may follow (``pipelining`` computes the final call
+    placements).
+
+The registry (:func:`register_pass` / :func:`registered_passes`) maps
+pass names to classes so tools — the ``repro passes`` CLI, sweep axes
+beyond the paper's five keys — can enumerate and build pipelines without
+hardcoding the set.
+
+Statistics
+----------
+
+Per pass, accumulated over every block of a program into a
+:class:`PipelineReport`:
+
+``removed``
+    Transfers deleted (redundancy, interblock).
+``merged``
+    Messages eliminated by folding members into a combined transfer.
+``distance_gained``
+    Change in latency-hiding distance: positive for ``pipelining`` (the
+    send-to-completion span it actually opened), non-positive for
+    ``combining`` (the hiding potential a merge gave up).
+``wall_s``
+    Host wall-clock spent inside the pass.
+
+The report reconciles by construction: ``planned - removed - merged ==
+final`` where ``planned`` is the naive transfer count and ``final`` the
+static count of the optimized program — the invariant the engine's
+telemetry tests and the Figure 8 deltas check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.comm.combining import HEURISTICS, combine
+from repro.comm.interblock import (
+    AvailableSet,
+    exit_available,
+    remove_entry_available,
+)
+from repro.comm.materialize import materialize
+from repro.comm.pipelining import CommPlacement, place_calls
+from repro.comm.planning import BlockPlan, plan_naive
+from repro.comm.redundancy import remove_redundant
+from repro.errors import OptimizationError
+from repro.ir import nodes as ir
+from repro.ironman.calls import CallKind
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PassStats:
+    """What one pass did — to one block, or summed over a program."""
+
+    name: str
+    removed: int = 0
+    merged: int = 0
+    distance_gained: int = 0
+    wall_s: float = 0.0
+
+    def add(self, other: "PassStats") -> None:
+        """Accumulate another block's stats for the same pass."""
+        if other.name != self.name:
+            raise OptimizationError(
+                f"cannot merge stats of {other.name!r} into {self.name!r}"
+            )
+        self.removed += other.removed
+        self.merged += other.merged
+        self.distance_gained += other.distance_gained
+        self.wall_s += other.wall_s
+
+    def as_dict(self) -> dict:
+        """JSON-safe representation (the telemetry schema)."""
+        return {
+            "name": self.name,
+            "removed": self.removed,
+            "merged": self.merged,
+            "distance_gained": self.distance_gained,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PassStats":
+        return cls(
+            name=data["name"],
+            removed=int(data["removed"]),
+            merged=int(data["merged"]),
+            distance_gained=int(data["distance_gained"]),
+            wall_s=float(data["wall_s"]),
+        )
+
+
+@dataclass
+class PipelineReport:
+    """Per-pass statistics for one whole-program optimization run.
+
+    ``passes`` holds one accumulated :class:`PassStats` per pipeline
+    stage, in pipeline order; ``planned`` is the naive (pre-pass)
+    transfer count over all blocks and ``final`` the post-pass count, so
+    ``planned - total_removed - total_merged == final`` always holds
+    (:meth:`reconciles`).
+    """
+
+    signature: Tuple[str, ...]
+    blocks: int = 0
+    planned: int = 0
+    final: int = 0
+    passes: List[PassStats] = field(default_factory=list)
+
+    def record_block(
+        self, planned: int, final: int, stats: Sequence[PassStats]
+    ) -> None:
+        """Fold one block's run into the program totals."""
+        self.blocks += 1
+        self.planned += planned
+        self.final += final
+        if not self.passes:
+            self.passes = [
+                PassStats(name=s.name) for s in stats
+            ]
+        for total, s in zip(self.passes, stats):
+            total.add(s)
+
+    @property
+    def total_removed(self) -> int:
+        return sum(s.removed for s in self.passes)
+
+    @property
+    def total_merged(self) -> int:
+        return sum(s.merged for s in self.passes)
+
+    def reconciles(self) -> bool:
+        """Do the per-pass deltas explain the whole static reduction?"""
+        return self.planned - self.total_removed - self.total_merged == self.final
+
+    def stats_for(self, name: str) -> Optional[PassStats]:
+        for s in self.passes:
+            if s.name == name:
+                return s
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON-safe representation (stored in engine telemetry)."""
+        return {
+            "signature": list(self.signature),
+            "blocks": self.blocks,
+            "planned": self.planned,
+            "final": self.final,
+            "passes": [s.as_dict() for s in self.passes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineReport":
+        return cls(
+            signature=tuple(data["signature"]),
+            blocks=int(data["blocks"]),
+            planned=int(data["planned"]),
+            final=int(data["final"]),
+            passes=[PassStats.from_dict(s) for s in data["passes"]],
+        )
+
+
+# ---------------------------------------------------------------------------
+# pass protocol and registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PassContext:
+    """State shared across a pipeline run.
+
+    ``avail`` is the inter-block available-transfer set (None outside an
+    inter-block dataflow region); ``placements`` is set by a placement
+    pass and consumed by materialization.
+    """
+
+    avail: Optional[AvailableSet] = None
+    placements: Optional[List[CommPlacement]] = None
+
+
+class CommPass:
+    """Base class of all communication-optimization passes.
+
+    Subclasses set ``name`` (the registry key) and the ordering
+    constraints (``requires``/``after``/``terminal``, see the module
+    docstring) and implement :meth:`run`.
+    """
+
+    name: str = ""
+    requires: Tuple[str, ...] = ()
+    after: Tuple[str, ...] = ()
+    terminal: bool = False
+
+    def run(self, plan: BlockPlan, ctx: PassContext) -> PassStats:
+        """Transform ``plan`` in place; return what was done."""
+        raise NotImplementedError
+
+    def signature(self) -> str:
+        """Identity string covering every behavior-relevant option."""
+        return self.name
+
+    def describe(self) -> str:
+        """One-line human description (first docstring line)."""
+        doc = type(self).__doc__ or self.name
+        return doc.strip().splitlines()[0]
+
+
+PASS_REGISTRY: Dict[str, Type[CommPass]] = {}
+
+
+def register_pass(cls: Type[CommPass]) -> Type[CommPass]:
+    """Class decorator: add a pass to the global registry by name."""
+    if not cls.name:
+        raise OptimizationError(f"pass class {cls.__name__} has no name")
+    if cls.name in PASS_REGISTRY:
+        raise OptimizationError(f"pass {cls.name!r} already registered")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_passes() -> Dict[str, Type[CommPass]]:
+    """Snapshot of the pass registry (name -> class)."""
+    return dict(PASS_REGISTRY)
+
+
+def make_pass(name: str, **options) -> CommPass:
+    """Instantiate a registered pass by name."""
+    try:
+        cls = PASS_REGISTRY[name]
+    except KeyError:
+        raise OptimizationError(
+            f"unknown pass {name!r} "
+            f"(registered: {', '.join(sorted(PASS_REGISTRY))})"
+        ) from None
+    return cls(**options)
+
+
+# ---------------------------------------------------------------------------
+# the paper's passes
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class RedundancyPass(CommPass):
+    """Remove transfers whose data an earlier same-block transfer moved."""
+
+    name = "redundancy"
+
+    def run(self, plan: BlockPlan, ctx: PassContext) -> PassStats:
+        return PassStats(self.name, removed=remove_redundant(plan))
+
+
+@register_pass
+class InterblockPass(CommPass):
+    """Remove transfers already available from preceding blocks (dataflow)."""
+
+    name = "interblock"
+    requires = ("redundancy",)
+
+    def run(self, plan: BlockPlan, ctx: PassContext) -> PassStats:
+        if ctx.avail is None:
+            # no dataflow region threaded through this run: nothing to do
+            return PassStats(self.name)
+        removed = remove_entry_available(plan, ctx.avail)
+        new_avail = exit_available(plan, ctx.avail)
+        ctx.avail.clear()
+        ctx.avail.update(new_avail)
+        return PassStats(self.name, removed=removed)
+
+
+@register_pass
+class CombiningPass(CommPass):
+    """Merge same-direction transfers of different arrays into one message."""
+
+    name = "combining"
+    after = ("redundancy", "interblock")
+
+    def __init__(self, heuristic: str = "max_combining") -> None:
+        if heuristic not in HEURISTICS:
+            raise OptimizationError(
+                f"unknown combining heuristic {heuristic!r} "
+                f"(valid: {', '.join(HEURISTICS)})"
+            )
+        self.heuristic = heuristic
+
+    def signature(self) -> str:
+        return f"combining[{self.heuristic}]"
+
+    def run(self, plan: BlockPlan, ctx: PassContext) -> PassStats:
+        before = sum(c.distance for c in plan.comms)
+        merged = combine(plan, self.heuristic)
+        after = sum(c.distance for c in plan.comms)
+        # merging only ever shrinks total span: the gain is <= 0, the
+        # hiding potential this heuristic traded for fewer messages
+        return PassStats(self.name, merged=merged, distance_gained=after - before)
+
+
+@register_pass
+class PipeliningPass(CommPass):
+    """Hoist transfer initiation (DR/SR) to the data's ready point."""
+
+    name = "pipelining"
+    terminal = True
+
+    def run(self, plan: BlockPlan, ctx: PassContext) -> PassStats:
+        ctx.placements = place_calls(plan, pipelining=True)
+        gained = sum(p.dn - p.dr for p in ctx.placements)
+        return PassStats(self.name, distance_gained=gained)
+
+
+# ---------------------------------------------------------------------------
+# verification
+# ---------------------------------------------------------------------------
+
+
+def verify_plan(plan: BlockPlan, owner: str = "plan") -> None:
+    """Check a block plan's invariants; raise OptimizationError on any
+    violation.  Run between passes when the pipeline verifier is on."""
+    n = len(plan.info.core)
+    for comm in plan.comms:
+        if not comm.members:
+            raise OptimizationError(f"{owner}: transfer with no members")
+        if not comm.is_legal:
+            raise OptimizationError(
+                f"{owner}: illegal transfer (ready={comm.ready} > "
+                f"use={comm.use}) for arrays {comm.arrays()}"
+            )
+        for member in comm.members:
+            if not 0 <= member.ready <= n or not 0 <= member.use <= n:
+                raise OptimizationError(
+                    f"{owner}: member position out of block bounds "
+                    f"(ready={member.ready}, use={member.use}, n={n})"
+                )
+
+
+def verify_block(block: ir.Block) -> None:
+    """Check a materialized block's IR invariants: every transfer has
+    exactly one call of each kind, ordered DR <= SR <= DN <= SV."""
+    positions: Dict[int, Dict[CallKind, int]] = {}
+    for pos, stmt in enumerate(block.stmts):
+        if isinstance(stmt, ir.CommCall):
+            by_kind = positions.setdefault(stmt.desc.id, {})
+            if stmt.kind in by_kind:
+                raise OptimizationError(
+                    f"transfer {stmt.desc.id} has duplicate {stmt.kind.name}"
+                )
+            by_kind[stmt.kind] = pos
+    for desc_id, by_kind in positions.items():
+        if set(by_kind) != set(CallKind):
+            missing = [k.name for k in CallKind if k not in by_kind]
+            raise OptimizationError(
+                f"transfer {desc_id} is missing calls: {', '.join(missing)}"
+            )
+        if not (
+            by_kind[CallKind.DR]
+            <= by_kind[CallKind.SR]
+            <= by_kind[CallKind.DN]
+            <= by_kind[CallKind.SV]
+        ):
+            raise OptimizationError(
+                f"transfer {desc_id} calls out of order: "
+                + ", ".join(f"{k.name}@{p}" for k, p in by_kind.items())
+            )
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+
+
+class PassPipeline:
+    """An ordered, legality-checked sequence of communication passes.
+
+    Parameters
+    ----------
+    passes:
+        :class:`CommPass` instances, in execution order.  Ordering
+        constraints (``requires``, ``after``, ``terminal``, no
+        duplicates) are validated here — an illegal pipeline never
+        constructs.
+    verify:
+        Run :func:`verify_plan` after every pass and
+        :func:`verify_block` after materialization (slower; tests and
+        debugging).
+    """
+
+    def __init__(self, passes: Sequence[CommPass], verify: bool = False) -> None:
+        self.passes: Tuple[CommPass, ...] = tuple(passes)
+        self.verify = verify
+        self._validate()
+
+    def _validate(self) -> None:
+        seen: List[str] = []
+        for index, p in enumerate(self.passes):
+            if p.name in seen:
+                raise OptimizationError(
+                    f"pass {p.name!r} appears twice in the pipeline"
+                )
+            for needed in p.requires:
+                if needed not in seen:
+                    raise OptimizationError(
+                        f"pass {p.name!r} requires {needed!r} earlier in "
+                        f"the pipeline"
+                    )
+            later = {q.name for q in self.passes[index + 1:]}
+            for pred in p.after:
+                if pred in later:
+                    raise OptimizationError(
+                        f"pass {pred!r} must run before {p.name!r}"
+                    )
+            if p.terminal and index != len(self.passes) - 1:
+                raise OptimizationError(
+                    f"pass {p.name!r} is terminal; nothing may follow it"
+                )
+            seen.append(p.name)
+
+    def signature(self) -> Tuple[str, ...]:
+        """Per-pass identity strings — the pipeline's fingerprint axis."""
+        return tuple(p.signature() for p in self.passes)
+
+    def describe(self) -> str:
+        return " -> ".join(self.signature()) if self.passes else "(empty)"
+
+    def has(self, name: str) -> bool:
+        return any(p.name == name for p in self.passes)
+
+    def run_block(
+        self, block: ir.Block, ctx: Optional[PassContext] = None
+    ) -> Tuple[ir.Block, int, List[PassStats]]:
+        """Optimize one basic block.
+
+        Returns ``(new_block, planned, stats)`` where ``planned`` is the
+        naive transfer count and ``stats`` has one entry per pass in
+        pipeline order.
+        """
+        if ctx is None:
+            ctx = PassContext()
+        plan = plan_naive(block)
+        planned = len(plan.comms)
+        if self.verify:
+            verify_plan(plan, "plan_naive")
+        stats: List[PassStats] = []
+        for p in self.passes:
+            t0 = time.perf_counter()
+            s = p.run(plan, ctx)
+            s.wall_s = time.perf_counter() - t0
+            if self.verify:
+                verify_plan(plan, f"after {p.signature()}")
+            stats.append(s)
+        placements = ctx.placements
+        ctx.placements = None
+        if placements is None:
+            # no placement pass ran: the paper's naive shape (all four
+            # calls together at first use)
+            placements = place_calls(plan, pipelining=False)
+        new_block = materialize(plan, placements)
+        if self.verify:
+            verify_block(new_block)
+        return new_block, planned, stats

@@ -25,10 +25,10 @@ potential.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.ir import nodes as ir
-from repro.ir.analysis import BlockInfo, ShiftedUse
+from repro.ir.analysis import BlockInfo
 from repro.lang.regions import Direction, Region, bounding_region
 
 

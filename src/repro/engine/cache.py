@@ -19,7 +19,8 @@ from pathlib import Path
 from typing import Optional, Union
 
 #: Schema version of the stored record; bump together with record shape.
-RECORD_SCHEMA = 1
+#: 2: records carry the optimizer's per-pass ``pipeline`` report.
+RECORD_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 

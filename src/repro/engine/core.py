@@ -33,8 +33,8 @@ from typing import (
     Union,
 )
 
-from repro.analysis.experiments import EXPERIMENT_KEYS, ExperimentResult
 from repro.errors import ExperimentError
+from repro.experiments_registry import EXPERIMENT_KEYS, ExperimentResult
 from repro.programs import BENCHMARKS
 from repro.runtime import ExecutionMode
 

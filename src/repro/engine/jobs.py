@@ -8,11 +8,13 @@ on-disk result cache.
 
 The fingerprint is a SHA-256 over a canonical JSON document containing
 everything that can change the simulation's outcome: the benchmark's ZL
-source hash, the resolved :class:`~repro.comm.OptimizationConfig`, the
-machine binding (name, processor count, library), the *merged* config
-constants (defaults + overrides, so editing a benchmark's
-``DEFAULT_CONFIG`` invalidates old entries), the execution mode, and the
-engine/package versions.
+source hash, the resolved :class:`~repro.comm.OptimizationConfig` *and*
+the pass-pipeline signature it compiles to (so re-ordering or re-naming
+passes invalidates old entries even when the config booleans read the
+same), the machine binding (name, processor count, library), the
+*merged* config constants (defaults + overrides, so editing a
+benchmark's ``DEFAULT_CONFIG`` invalidates old entries), the execution
+mode, and the engine/package versions.
 """
 
 from __future__ import annotations
@@ -25,20 +27,31 @@ from functools import lru_cache
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import ExperimentError
+from repro.experiments_registry import experiment_spec
 from repro.machine import Machine, machine_by_name
 from repro.programs import benchmark_source, default_config
 
 #: Bump to invalidate every existing cache entry (schema or semantics
-#: changes in the engine itself).
-ENGINE_VERSION = 1
+#: changes in the engine itself).  2: job fingerprints cover the resolved
+#: pass-pipeline signature and records carry its per-pass report.
+ENGINE_VERSION = 2
 
 ConfigValue = Union[int, float]
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=256)
+def _text_sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
 def source_sha(benchmark: str) -> str:
-    """SHA-256 of a bundled benchmark's ZL source text."""
-    return hashlib.sha256(benchmark_source(benchmark).encode()).hexdigest()
+    """SHA-256 of a bundled benchmark's ZL source text.
+
+    The memo is keyed on the source *text* (bounded LRU), not the
+    benchmark name: redefining a benchmark's ``SOURCE`` inside one
+    long-lived process yields the new hash immediately instead of a
+    stale per-name entry."""
+    return _text_sha(benchmark_source(benchmark))
 
 
 @dataclass(frozen=True)
@@ -125,14 +138,11 @@ class Job:
 
     def effective_library(self) -> str:
         """The library the job will actually bind (spec or key default)."""
-        from repro.analysis.experiments import experiment_spec
-
         return self.machine.library or experiment_spec(self.experiment).library
 
     def fingerprint(self) -> str:
         """Content hash identifying this job for the result cache."""
         import repro
-        from repro.analysis.experiments import experiment_spec
 
         spec = experiment_spec(self.experiment)
         payload = {
@@ -142,6 +152,7 @@ class Job:
             "source": source_sha(self.benchmark),
             "experiment": self.experiment,
             "opt": dataclasses.asdict(spec.opt),
+            "pipeline": list(spec.pipeline().signature()),
             "machine": {
                 "name": self.machine.name,
                 "nprocs": self.machine.nprocs,

@@ -14,7 +14,10 @@ study:
   OptimizationConfig)`` — each program is optimized once *per opt
   level*, not once per cell: ``pl`` and ``pl_shmem`` resolve to the same
   ``OptimizationConfig.full()`` and reuse one optimized program, since
-  the library is a machine property, not a compiler property.
+  the library is a machine property, not a compiler property.  The
+  per-pass :class:`~repro.comm.PipelineReport` of the optimization run
+  is cached alongside the program, so cache hits still carry full
+  pipeline telemetry.
 
 Reuse is sound because :func:`repro.comm.optimize` returns a fresh
 program (documented non-mutating) and :func:`repro.runtime.simulate`
@@ -31,7 +34,8 @@ import os
 import time
 from typing import Dict, Tuple
 
-from repro.comm import OptimizationConfig, optimize
+from repro.comm import OptimizationConfig, optimize_with_report
+from repro.experiments_registry import experiment_spec
 from repro.ir.nodes import IRProgram
 from repro.programs import benchmark_source
 from repro.programs.common import compile_source
@@ -43,7 +47,9 @@ from repro.engine.jobs import ConfigValue, Job, source_sha
 _ConfigItems = Tuple[Tuple[str, ConfigValue], ...]
 
 _LOWERED: Dict[Tuple[str, _ConfigItems], IRProgram] = {}
-_OPTIMIZED: Dict[Tuple[str, _ConfigItems, OptimizationConfig], IRProgram] = {}
+_OPTIMIZED: Dict[
+    Tuple[str, _ConfigItems, OptimizationConfig], Tuple[IRProgram, dict]
+] = {}
 
 
 def clear_compile_cache() -> None:
@@ -54,19 +60,21 @@ def clear_compile_cache() -> None:
 
 def compile_cached(
     benchmark: str, config_items: _ConfigItems, opt: OptimizationConfig
-) -> Tuple[IRProgram, float, float, bool, bool]:
+) -> Tuple[IRProgram, dict, float, float, bool, bool]:
     """An optimized program for one benchmark, through the two-level
     cache.
 
-    Returns ``(program, compile_seconds, optimize_seconds, lowered_hit,
-    optimized_hit)``; the wall times are 0.0 for phases served from
-    cache.
+    Returns ``(program, pipeline_report, compile_seconds,
+    optimize_seconds, lowered_hit, optimized_hit)``; the report is the
+    JSON-safe :meth:`~repro.comm.PipelineReport.as_dict` form and the
+    wall times are 0.0 for phases served from cache.
     """
     sha = source_sha(benchmark)
     opt_key = (sha, config_items, opt)
     cached = _OPTIMIZED.get(opt_key)
     if cached is not None:
-        return cached, 0.0, 0.0, True, True
+        program, report = cached
+        return program, report, 0.0, 0.0, True, True
 
     low_key = (sha, config_items)
     lowered = _LOWERED.get(low_key)
@@ -84,10 +92,11 @@ def compile_cached(
         _LOWERED[low_key] = lowered
 
     t0 = time.perf_counter()
-    program = optimize(lowered, opt)
+    program, pipeline_report = optimize_with_report(lowered, opt)
     optimize_s = time.perf_counter() - t0
-    _OPTIMIZED[opt_key] = program
-    return program, compile_s, optimize_s, lowered_hit, False
+    report = pipeline_report.as_dict()
+    _OPTIMIZED[opt_key] = (program, report)
+    return program, report, compile_s, optimize_s, lowered_hit, False
 
 
 def execute_job(job: Job) -> dict:
@@ -95,12 +104,10 @@ def execute_job(job: Job) -> dict:
 
     The record is exactly what the result cache stores and what
     :class:`~repro.engine.core.JobOutcome` reconstructs an
-    :class:`~repro.analysis.experiments.ExperimentResult` from — floats
+    :class:`~repro.experiments_registry.ExperimentResult` from — floats
     survive the JSON round trip bit-exactly, so cached and fresh runs
     render byte-identical tables.
     """
-    from repro.analysis.experiments import experiment_spec
-
     started = time.time()
     t_total = time.perf_counter()
     spec = experiment_spec(job.experiment)
@@ -108,7 +115,7 @@ def execute_job(job: Job) -> dict:
 
     merged = job.merged_config()
     config_items = tuple(sorted(merged.items()))
-    program, compile_s, optimize_s, lowered_hit, optimized_hit = (
+    program, pipeline, compile_s, optimize_s, lowered_hit, optimized_hit = (
         compile_cached(job.benchmark, config_items, spec.opt)
     )
 
@@ -134,6 +141,7 @@ def execute_job(job: Job) -> dict:
             "total_bytes": int(result.instrument.total_bytes),
             "warnings": list(result.warnings),
         },
+        "pipeline": pipeline,
         "timings": {
             "compile_s": compile_s,
             "optimize_s": optimize_s,

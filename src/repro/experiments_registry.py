@@ -1,0 +1,179 @@
+"""The experiment-key registry (the paper's Figure 9), engine-neutral.
+
+==================  =============================================  ========
+key                 description                                    library
+==================  =============================================  ========
+baseline            message vectorization                          pvm
+rr                  baseline + redundant communication removal     pvm
+cc                  rr + communication combination                 pvm
+pl                  cc + communication pipelining                  pvm
+pl_shmem            pl using shmem_put                             shmem
+pl_maxlat           pl with shmem, combining for max latency       shmem
+==================  =============================================  ========
+
+The paper's experiments are *cumulative* — each key adds one
+optimization — and the library is an orthogonal axis that the last two
+keys flip to SHMEM.
+
+This module deliberately sits below both :mod:`repro.engine` and
+:mod:`repro.analysis`: the engine needs to resolve keys to optimization
+pipelines when fingerprinting jobs, and the analysis layer needs the
+same table to drive figures — importing the table from either side used
+to create a deferred-import cycle (``engine.jobs`` reached into
+``analysis.experiments`` inside function bodies).  Both now import from
+here; :mod:`repro.analysis.experiments` re-exports every name so the
+historical import paths keep working.
+
+An experiment key resolves to an :class:`ExperimentSpec` (key, opt,
+library, description).  ``experiment_spec`` historically returned a bare
+``(opt, library, description)`` tuple; the spec still unpacks that way
+through a deprecation shim, but new code should use the named fields.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.comm import OptimizationConfig
+from repro.errors import ExperimentError
+
+#: Experiment keys in the paper's presentation order.
+EXPERIMENT_KEYS: Tuple[str, ...] = (
+    "baseline",
+    "rr",
+    "cc",
+    "pl",
+    "pl_shmem",
+    "pl_maxlat",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One of the paper's experiment configurations, by name.
+
+    Attributes
+    ----------
+    key:
+        The experiment key (``"baseline"`` ... ``"pl_maxlat"``).
+    opt:
+        The resolved :class:`~repro.comm.OptimizationConfig`.
+    library:
+        The communication library the paper pairs with the key (``pvm``
+        for the message-passing keys, ``shmem`` for the last two).
+    description:
+        The paper's cumulative description of the configuration.
+    """
+
+    key: str
+    opt: OptimizationConfig
+    library: str
+    description: str
+
+    def pipeline(self, verify: bool = False):
+        """The resolved :class:`~repro.comm.passes.PassPipeline` this key
+        compiles to (what the engine fingerprints)."""
+        return self.opt.pipeline(verify=verify)
+
+    # -- deprecation shim: the pre-engine API returned a bare
+    # (opt, library, description) 3-tuple; keep unpacking working.
+    def __iter__(self) -> Iterator:
+        warnings.warn(
+            "unpacking an ExperimentSpec as an (opt, library, description) "
+            "tuple is deprecated; use the .opt/.library/.description fields "
+            "(and .key) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return iter((self.opt, self.library, self.description))
+
+    def __len__(self) -> int:
+        return 3
+
+    def __getitem__(self, index):
+        warnings.warn(
+            "indexing an ExperimentSpec like a tuple is deprecated; use "
+            "the .opt/.library/.description fields instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return (self.opt, self.library, self.description)[index]
+
+
+_SPECS: Dict[str, ExperimentSpec] = {
+    spec.key: spec
+    for spec in (
+        ExperimentSpec(
+            "baseline",
+            OptimizationConfig.baseline(),
+            "pvm",
+            "message vectorization",
+        ),
+        ExperimentSpec(
+            "rr",
+            OptimizationConfig.rr_only(),
+            "pvm",
+            "baseline with removing redundant communication",
+        ),
+        ExperimentSpec(
+            "cc",
+            OptimizationConfig.rr_cc(),
+            "pvm",
+            "rr with combining communication",
+        ),
+        ExperimentSpec(
+            "pl",
+            OptimizationConfig.full(),
+            "pvm",
+            "cc with pipelining",
+        ),
+        ExperimentSpec(
+            "pl_shmem",
+            OptimizationConfig.full(),
+            "shmem",
+            "pl using shmem_put",
+        ),
+        ExperimentSpec(
+            "pl_maxlat",
+            OptimizationConfig.full_max_latency(),
+            "shmem",
+            "pl with shmem, combining for maximum latency hiding",
+        ),
+    )
+}
+
+
+def experiment_spec(key: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` for an experiment key."""
+    try:
+        return _SPECS[key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {key!r} (valid: {', '.join(EXPERIMENT_KEYS)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One cell of a Table 1-4 style table."""
+
+    benchmark: str
+    experiment: str
+    library: str
+    static_count: int
+    dynamic_count: int
+    execution_time: float
+
+    def scaled_to(self, baseline: "ExperimentResult") -> float:
+        """Execution time relative to a baseline run (the paper's plots)."""
+        return self.execution_time / baseline.execution_time
+
+
+__all__ = [
+    "EXPERIMENT_KEYS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "experiment_spec",
+]

@@ -34,7 +34,7 @@ from repro.frontend.symbols import (
     SymbolTable,
 )
 from repro.lang.regions import Direction, Region
-from repro.lang.types import BOOLEAN, DOUBLE, INTEGER, ScalarType, type_by_name
+from repro.lang.types import INTEGER, type_by_name
 
 #: Intrinsic functions: name -> (min arity, max arity)
 INTRINSICS: Dict[str, Tuple[int, int]] = {

@@ -9,7 +9,7 @@ them with an explicit scope stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import SemanticError
 from repro.frontend.source import SourceLocation

@@ -18,7 +18,7 @@ No communication is generated here; see :mod:`repro.comm.generation`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.errors import LoweringError
 from repro.frontend import ast

@@ -21,7 +21,7 @@ simulated machine faithfully exposes its own primitives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.comm import OptimizationConfig
 from repro.machine.params import Machine

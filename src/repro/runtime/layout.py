@@ -18,10 +18,10 @@ Distribution convention (ZPL's, as the paper describes):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import RuntimeFault
-from repro.lang.regions import Direction, Region, bounding_region
+from repro.lang.regions import Region, bounding_region
 from repro.runtime.grid import ProcessorGrid
 
 

@@ -13,7 +13,6 @@ the other.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 

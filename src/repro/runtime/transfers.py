@@ -22,14 +22,14 @@ message list to snapshot and deliver real strip data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import RuntimeFault
 from repro.ir.nodes import CommDescriptor
-from repro.lang.regions import Direction, Region
+from repro.lang.regions import Region
 from repro.runtime.layout import ProblemLayout
 
 _DOUBLE = 8  # bytes per element; ZL arrays are doubles

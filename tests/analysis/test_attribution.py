@@ -1,0 +1,137 @@
+"""Tests for the per-pass attribution report (the finer-grained Figure 8).
+
+One module-scoped study runs the paper's full grid (four benchmarks,
+six keys) at small configs; every test reads its telemetry.
+"""
+
+import pytest
+
+from repro import run_study
+from repro.analysis import (
+    figure8_by_pass,
+    pass_attribution,
+    pipeline_report,
+    report_reconciles,
+)
+from repro.analysis.report import format_table
+from repro.programs import BENCHMARKS, small_config
+
+NPROCS = 16
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(
+        benchmarks=BENCHMARKS,
+        nprocs=NPROCS,
+        config_overrides={b: small_config(b) for b in BENCHMARKS},
+        cache=False,
+    )
+
+
+def _baseline_static(study, benchmark):
+    for record in study.telemetry:
+        if (
+            record["benchmark"] == benchmark
+            and record["experiment"] == "baseline"
+        ):
+            return record["result"]["static_count"]
+    raise AssertionError(f"no baseline record for {benchmark}")
+
+
+def test_every_record_reconciles(study):
+    """Acceptance criterion: removal/merge totals reconcile with the
+    Figure 8 static-count deltas for all four benchmarks and all six
+    keys — each record's report explains exactly how its static count
+    got from the naive count to the measured one."""
+    assert len(study.telemetry) == len(BENCHMARKS) * 6
+    for record in study.telemetry:
+        assert report_reconciles(record), (
+            record["benchmark"],
+            record["experiment"],
+        )
+        report = pipeline_report(record)
+        baseline = _baseline_static(study, record["benchmark"])
+        assert report.planned == baseline
+        assert (
+            baseline - report.total_removed - report.total_merged
+            == record["result"]["static_count"]
+        )
+
+
+def test_baseline_report_is_empty_but_counted(study):
+    for record in study.telemetry:
+        if record["experiment"] != "baseline":
+            continue
+        report = pipeline_report(record)
+        assert report.signature == ()
+        assert report.passes == []
+        assert report.planned == report.final > 0
+        assert report.blocks > 0
+
+
+def test_pass_attribution_rows(study):
+    headers, rows = pass_attribution(study)
+    assert headers[:3] == ["benchmark", "experiment", "pass"]
+    # baseline cells run no passes, so contribute no rows
+    assert not [r for r in rows if r[1] == "baseline"]
+    # every non-baseline cell of every benchmark is represented
+    cells = {(r[0], r[1]) for r in rows}
+    assert cells == {
+        (b, k)
+        for b in BENCHMARKS
+        for k in ("rr", "cc", "pl", "pl_shmem", "pl_maxlat")
+    }
+    # a cell that reduced the count attributes 100% of it across passes
+    for bench in BENCHMARKS:
+        shares = [
+            int(r[-1].rstrip("%"))
+            for r in rows
+            if r[0] == bench and r[1] == "pl" and r[-1]
+        ]
+        if shares:
+            assert sum(shares) == pytest.approx(100, abs=len(shares))
+
+
+def test_pass_attribution_filters(study):
+    _, rows = pass_attribution(study, benchmarks=["swm"], experiments=["pl"])
+    assert rows
+    assert {(r[0], r[1]) for r in rows} == {("swm", "pl")}
+
+
+def test_figure8_by_pass_fractions_sum_to_one(study):
+    headers, rows = figure8_by_pass(study)
+    assert headers == [
+        "benchmark",
+        "naive",
+        "redundancy",
+        "combining",
+        "remaining",
+    ]
+    assert [r[0] for r in rows] == list(BENCHMARKS)
+    for row in rows:
+        _, naive, redundancy, combining, remaining = row
+        assert naive == _baseline_static(study, row[0])
+        assert redundancy + combining + remaining == pytest.approx(1.0)
+        assert remaining < 1.0  # every benchmark gains something
+
+
+def test_tables_render(study):
+    text = format_table(*pass_attribution(study))
+    assert "redundancy" in text and "share" in text
+    text = format_table(*figure8_by_pass(study))
+    assert "remaining" in text
+
+
+def test_sources_records_list_and_document(study):
+    from_study = pass_attribution(study)
+    assert pass_attribution(study.telemetry) == from_study
+    assert pass_attribution({"records": study.telemetry}) == from_study
+
+
+def test_pre_pipeline_records_are_skipped():
+    legacy = {"benchmark": "swm", "experiment": "rr", "result": {}}
+    assert not report_reconciles(legacy)
+    assert pipeline_report(legacy) is None
+    _, rows = pass_attribution([legacy])
+    assert rows == []

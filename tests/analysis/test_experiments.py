@@ -1,5 +1,7 @@
 """Tests for the experiment harness."""
 
+import warnings
+
 import pytest
 
 from repro.analysis import (
@@ -69,6 +71,33 @@ def test_spec_tuple_shim_unpacks_with_deprecation():
         assert spec[1] == "pvm"
     with pytest.warns(DeprecationWarning):
         assert tuple(spec) == (spec.opt, spec.library, spec.description)
+
+
+def test_named_field_access_is_warning_free():
+    """Only the tuple shim warns: the ExperimentSpec named-field path —
+    including the pipeline factory — raises no DeprecationWarning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        spec = experiment_spec("pl")
+        assert spec.key == "pl"
+        assert spec.opt.pl
+        assert spec.library == "pvm"
+        assert "pipelining" in spec.description
+        assert spec.pipeline().has("pipelining")
+
+
+def test_registry_module_is_the_single_source():
+    """repro.analysis re-exports the shared registry objects unchanged,
+    so both historical import paths resolve to the same definitions."""
+    import repro.analysis as analysis
+    import repro.analysis.experiments as experiments
+    import repro.experiments_registry as registry
+
+    for module in (analysis, experiments):
+        assert module.EXPERIMENT_KEYS is registry.EXPERIMENT_KEYS
+        assert module.ExperimentSpec is registry.ExperimentSpec
+        assert module.ExperimentResult is registry.ExperimentResult
+        assert module.experiment_spec is registry.experiment_spec
 
 
 def test_run_experiment_returns_counts_and_time():

@@ -1,0 +1,258 @@
+"""Unit tests for the pass protocol, registry, pipeline, and report."""
+
+import pytest
+
+from repro import compile_program
+from repro.comm import (
+    CommPass,
+    OptimizationConfig,
+    PassPipeline,
+    PassStats,
+    PipelineReport,
+    make_pass,
+    optimize_with_report,
+    register_pass,
+    registered_passes,
+    static_comm_count,
+)
+from repro.comm.passes import (
+    CombiningPass,
+    InterblockPass,
+    PipeliningPass,
+    RedundancyPass,
+    verify_block,
+    verify_plan,
+)
+from repro.comm.planning import plan_naive
+from repro.errors import OptimizationError
+from repro.experiments_registry import EXPERIMENT_KEYS, experiment_spec
+from repro.ir.nodes import CommCall
+from repro.ironman.calls import CallKind
+from tests.conftest import DEMO_SOURCE
+
+
+PAPER_PASSES = {"redundancy", "interblock", "combining", "pipelining"}
+
+
+class TestRegistry:
+    def test_paper_passes_registered(self):
+        registry = registered_passes()
+        assert set(registry) == PAPER_PASSES
+        assert all(issubclass(cls, CommPass) for cls in registry.values())
+
+    def test_registry_snapshot_is_a_copy(self):
+        snap = registered_passes()
+        snap.clear()
+        assert set(registered_passes()) == PAPER_PASSES
+
+    def test_make_pass_by_name(self):
+        p = make_pass("combining", heuristic="max_latency")
+        assert isinstance(p, CombiningPass)
+        assert p.signature() == "combining[max_latency]"
+
+    def test_make_pass_unknown_name(self):
+        with pytest.raises(OptimizationError, match="registered"):
+            make_pass("loop_fusion")
+
+    def test_register_requires_a_name(self):
+        class Nameless(CommPass):
+            pass
+
+        with pytest.raises(OptimizationError, match="no name"):
+            register_pass(Nameless)
+
+    def test_register_rejects_duplicates(self):
+        class Impostor(CommPass):
+            name = "redundancy"
+
+        with pytest.raises(OptimizationError, match="already registered"):
+            register_pass(Impostor)
+        assert registered_passes()["redundancy"] is RedundancyPass
+
+    def test_invalid_combining_heuristic(self):
+        with pytest.raises(OptimizationError, match="heuristic"):
+            CombiningPass("bogus")
+
+    def test_describe_is_one_line(self):
+        for cls in registered_passes().values():
+            text = cls().describe()
+            assert text and "\n" not in text
+
+
+class TestConfigFactory:
+    """OptimizationConfig.pipeline() compiles the paper's keys."""
+
+    EXPECTED = {
+        "baseline": (),
+        "rr": ("redundancy",),
+        "cc": ("redundancy", "combining[max_combining]"),
+        "pl": ("redundancy", "combining[max_combining]", "pipelining"),
+        "pl_shmem": ("redundancy", "combining[max_combining]", "pipelining"),
+        "pl_maxlat": ("redundancy", "combining[max_latency]", "pipelining"),
+    }
+
+    def test_every_experiment_key_signature(self):
+        for key in EXPERIMENT_KEYS:
+            assert (
+                experiment_spec(key).pipeline().signature() == self.EXPECTED[key]
+            ), key
+
+    def test_interblock_rides_behind_redundancy(self):
+        cfg = OptimizationConfig(rr=True, rr_interblock=True)
+        assert cfg.pipeline().signature() == ("redundancy", "interblock")
+
+    def test_describe(self):
+        assert OptimizationConfig.baseline().pipeline().describe() == "(empty)"
+        assert (
+            OptimizationConfig.full().pipeline().describe()
+            == "redundancy -> combining[max_combining] -> pipelining"
+        )
+
+    def test_has(self):
+        pipeline = OptimizationConfig.full().pipeline()
+        assert pipeline.has("combining")
+        assert not pipeline.has("interblock")
+
+
+class TestLegality:
+    def test_duplicate_pass_rejected(self):
+        with pytest.raises(OptimizationError, match="twice"):
+            PassPipeline([RedundancyPass(), RedundancyPass()])
+
+    def test_interblock_requires_redundancy(self):
+        with pytest.raises(OptimizationError, match="requires"):
+            PassPipeline([InterblockPass()])
+
+    def test_interblock_before_redundancy_rejected(self):
+        with pytest.raises(OptimizationError, match="requires"):
+            PassPipeline([InterblockPass(), RedundancyPass()])
+
+    def test_combining_before_removal_rejected(self):
+        with pytest.raises(OptimizationError, match="before"):
+            PassPipeline([CombiningPass(), RedundancyPass()])
+
+    def test_terminal_pass_must_be_last(self):
+        with pytest.raises(OptimizationError, match="terminal"):
+            PassPipeline([PipeliningPass(), RedundancyPass()])
+
+    def test_soft_ordering_allows_combining_alone(self):
+        # ``after`` only binds when the predecessor is present
+        pipeline = PassPipeline([CombiningPass()])
+        assert pipeline.signature() == ("combining[max_combining]",)
+
+
+class TestReport:
+    def test_stats_add_rejects_name_mismatch(self):
+        with pytest.raises(OptimizationError, match="merge stats"):
+            PassStats("redundancy").add(PassStats("combining"))
+
+    def test_paper_keys_reconcile_on_demo(self):
+        lowered = compile_program(DEMO_SOURCE, "demo.zl")
+        baseline_count = static_comm_count(
+            compile_program(
+                DEMO_SOURCE, "demo.zl", opt=OptimizationConfig.baseline()
+            )
+        )
+        for key in EXPERIMENT_KEYS:
+            spec = experiment_spec(key)
+            program, report = optimize_with_report(
+                lowered, spec.opt, verify=True
+            )
+            assert report.signature == spec.pipeline().signature()
+            assert report.blocks > 0
+            assert report.planned == baseline_count
+            assert report.final == static_comm_count(program)
+            assert report.reconciles(), key
+
+    def test_redundancy_and_combining_both_fire_on_demo(self):
+        lowered = compile_program(DEMO_SOURCE, "demo.zl")
+        _, report = optimize_with_report(lowered, OptimizationConfig.full())
+        assert report.stats_for("redundancy").removed > 0
+        assert report.stats_for("combining").merged > 0
+        assert report.stats_for("combining").distance_gained <= 0
+        assert report.stats_for("pipelining").distance_gained >= 0
+        assert report.stats_for("inlining") is None
+        assert all(s.wall_s >= 0.0 for s in report.passes)
+
+    def test_pipelining_reports_hoisting_distance(self):
+        # B is ready after the first statement but only used two
+        # statements later: pipelining hoists DR/SR across the gap and
+        # the report shows the span it opened
+        source = """
+program hoist;
+config n : integer = 8;
+region R  = [1..n, 1..n];
+region In = [1..n, 1..n-1];
+direction east = [0, 1];
+var A, B, C : [R] double;
+procedure main();
+begin
+  [R] B := index1 + index2;
+  [R] C := index1 - index2;
+  [In] A := B@east;
+end;
+"""
+        lowered = compile_program(source, "hoist.zl")
+        _, report = optimize_with_report(
+            lowered, OptimizationConfig(rr=True, pl=True)
+        )
+        assert report.stats_for("pipelining").distance_gained > 0
+
+    def test_report_dict_roundtrip(self):
+        lowered = compile_program(DEMO_SOURCE, "demo.zl")
+        _, report = optimize_with_report(
+            lowered, OptimizationConfig.full_max_latency()
+        )
+        data = report.as_dict()
+        assert PipelineReport.from_dict(data) == report
+        # and the dict form is JSON-safe
+        import json
+
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestVerifier:
+    def _comm_block(self):
+        program = compile_program(
+            DEMO_SOURCE, "demo.zl", opt=OptimizationConfig.full()
+        )
+        for block in program.walk_blocks():
+            if block.comm_calls():
+                return block
+        raise AssertionError("demo program has no communicating block")
+
+    def test_verify_block_accepts_optimized_output(self):
+        program = compile_program(
+            DEMO_SOURCE, "demo.zl", opt=OptimizationConfig.full()
+        )
+        for block in program.walk_blocks():
+            verify_block(block)
+
+    def test_verify_block_catches_missing_call(self):
+        block = self._comm_block()
+        dropped = next(
+            s
+            for s in block.stmts
+            if isinstance(s, CommCall) and s.kind is CallKind.SV
+        )
+        block.stmts.remove(dropped)
+        with pytest.raises(OptimizationError, match="missing"):
+            verify_block(block)
+
+    def test_verify_block_catches_duplicate_call(self):
+        block = self._comm_block()
+        dup = next(s for s in block.stmts if isinstance(s, CommCall))
+        block.stmts.append(dup)
+        with pytest.raises(OptimizationError, match="duplicate"):
+            verify_block(block)
+
+    def test_verify_plan_catches_empty_transfer(self):
+        lowered = compile_program(DEMO_SOURCE, "demo.zl")
+        plan = next(
+            p
+            for p in (plan_naive(b) for b in lowered.walk_blocks())
+            if p.comms
+        )
+        plan.comms[0].members.clear()
+        with pytest.raises(OptimizationError, match="no members"):
+            verify_plan(plan)

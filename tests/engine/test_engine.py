@@ -1,6 +1,8 @@
 """Tests for the parallel cached experiment engine."""
 
 import json
+import subprocess
+import sys
 
 import pytest
 
@@ -73,6 +75,40 @@ def test_engine_rejects_bad_worker_count():
         ExperimentEngine(jobs=0)
 
 
+def test_fingerprint_covers_the_pass_pipeline():
+    # the resolved pipeline signature is a fingerprint axis: keys whose
+    # configs differ only in combining heuristic hash differently
+    pl = Job.make("swm", "pl_shmem", machine=MachineSpec(nprocs=16))
+    ml = Job.make("swm", "pl_maxlat", machine=MachineSpec(nprocs=16))
+    assert pl.fingerprint() != ml.fingerprint()
+
+
+def test_engine_does_not_import_analysis():
+    """The registry split means ``repro.engine`` stands alone: importing
+    it must not drag in ``repro.analysis`` (the old deferred-import
+    cycle)."""
+    code = (
+        "import sys; import repro.engine; "
+        "bad = [m for m in sys.modules if m.startswith('repro.analysis')]; "
+        "assert not bad, bad"
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)
+
+
+def test_source_sha_tracks_source_content(monkeypatch):
+    """Redefining a benchmark's source inside one process must yield a
+    fresh hash (the old per-name lru_cache served stale fingerprints)."""
+    from repro.engine import jobs as jobs_mod
+
+    monkeypatch.setattr(jobs_mod, "benchmark_source", lambda name: "v1")
+    first = jobs_mod.source_sha("swm")
+    monkeypatch.setattr(jobs_mod, "benchmark_source", lambda name: "v2")
+    second = jobs_mod.source_sha("swm")
+    assert first != second
+    # and identical text still memoizes to the same hash
+    assert second == jobs_mod.source_sha("swm")
+
+
 # ---------------------------------------------------------------------------
 # result cache
 # ---------------------------------------------------------------------------
@@ -112,9 +148,11 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
 
 
 def test_cache_record_roundtrip(tmp_path):
+    from repro.engine.cache import RECORD_SCHEMA
+
     cache = ResultCache(tmp_path)
     assert cache.get("ab" * 32) is None
-    record = {"schema": 1, "fingerprint": "ab" * 32, "x": 1.5}
+    record = {"schema": RECORD_SCHEMA, "fingerprint": "ab" * 32, "x": 1.5}
     cache.put("ab" * 32, record)
     assert cache.get("ab" * 32) == record
     # a record filed under the wrong fingerprint is rejected
@@ -188,6 +226,24 @@ def test_telemetry_records_and_file(tmp_path):
     doc = json.loads(out.read_text())
     assert doc["schema"] == 1
     assert [r["experiment"] for r in doc["records"]] == ["baseline", "cc"]
+
+
+def test_telemetry_carries_reconciling_pipeline_report(tmp_path):
+    from repro.comm import PipelineReport
+
+    study = _study(tmp_path)
+    base_rec, cc_rec = study.telemetry
+    report = PipelineReport.from_dict(cc_rec["pipeline"])
+    assert report.signature == ("redundancy", "combining[max_combining]")
+    assert report.reconciles()
+    assert report.final == cc_rec["result"]["static_count"]
+    # planned is the naive count: the baseline cell's static count
+    assert report.planned == base_rec["result"]["static_count"]
+    assert report.total_removed > 0 and report.total_merged > 0
+
+    # a cache hit serves the identical report back
+    warm = _study(tmp_path)
+    assert warm.telemetry[1]["pipeline"] == cc_rec["pipeline"]
 
 
 def test_compile_cache_shares_frontend_work(tmp_path):

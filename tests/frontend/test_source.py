@@ -1,6 +1,14 @@
 """Unit tests for source bookkeeping."""
 
-from repro.frontend.source import SourceFile, SourceLocation, UNKNOWN_LOCATION
+import pytest
+
+from repro.frontend.source import (
+    SourceFile,
+    SourceLocation,
+    UNKNOWN_LOCATION,
+    parse_config_assignments,
+    parse_config_value,
+)
 
 
 def test_location_renders_file_line_col():
@@ -35,10 +43,6 @@ def test_location_factory_uses_filename():
 # ---------------------------------------------------------------------------
 # config-assignment parsing (shared by the CLI and run_study)
 # ---------------------------------------------------------------------------
-
-import pytest
-
-from repro.frontend.source import parse_config_assignments, parse_config_value
 
 
 def test_parse_config_value_int_stays_int():

@@ -1,7 +1,5 @@
 """Unit tests for AST -> IR lowering."""
 
-import pytest
-
 from repro import compile_program
 from repro.ir import nodes as ir
 

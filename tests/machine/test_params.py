@@ -1,7 +1,5 @@
 """Unit tests for machine parameter models."""
 
-import math
-
 import pytest
 
 from repro.errors import MachineError

@@ -1,0 +1,111 @@
+"""Property-based tests of the pass pipeline itself.
+
+The optimizer's legality model claims that every *legal* subset of the
+four paper passes has exactly one legal order, and that running any of
+those pipelines preserves program semantics while its
+:class:`~repro.comm.PipelineReport` exactly explains the static-count
+delta.  These tests enumerate all 18 legal pipelines (3 removal states x
+3 combining states x 2 placement states) against random ZL programs.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    ExecutionMode,
+    OptimizationConfig,
+    compile_program,
+    reference_run,
+    simulate,
+    t3d,
+)
+from repro.comm import PassPipeline, optimize_with_report, static_comm_count
+from repro.errors import OptimizationError
+from tests.property.test_optimizer_properties import (
+    ARRAYS,
+    FOOTER,
+    HEADER,
+    program_bodies,
+)
+
+PASS_ORDER = ("redundancy", "interblock", "combining", "pipelining")
+
+
+def _legal_configs():
+    """Every legal pass subset, as the OptimizationConfig compiling to it."""
+    configs = []
+    for rr, interblock in ((False, False), (True, False), (True, True)):
+        for heuristic in (None, "max_combining", "max_latency"):
+            for pl in (False, True):
+                configs.append(
+                    OptimizationConfig(
+                        rr=rr,
+                        rr_interblock=interblock,
+                        cc=heuristic is not None,
+                        combine_heuristic=heuristic or "max_combining",
+                        pl=pl,
+                    )
+                )
+    return configs
+
+
+LEGAL_CONFIGS = _legal_configs()
+
+
+def test_legal_subset_count():
+    assert len(LEGAL_CONFIGS) == 18
+    assert len({c.pipeline().signature() for c in LEGAL_CONFIGS}) == 18
+
+
+def test_every_legal_subset_has_exactly_one_legal_order():
+    """The canonical order constructs; every other permutation of the
+    same passes is rejected at construction time."""
+    for config in LEGAL_CONFIGS:
+        pipeline = config.pipeline()
+        names = [p.name for p in pipeline.passes]
+        assert names == [n for n in PASS_ORDER if n in names]
+        for perm in itertools.permutations(pipeline.passes):
+            permuted = [p.name for p in perm]
+            if permuted == names:
+                continue
+            with pytest.raises(OptimizationError):
+                PassPipeline(perm)
+
+
+@given(program_bodies())
+@settings(max_examples=15, deadline=None)
+def test_every_legal_pipeline_matches_reference(body):
+    """Semantics: all 18 pipelines compute what the sequential reference
+    computes, on random stencil programs."""
+    source = HEADER + body + FOOTER
+    ref = reference_run(compile_program(source, "fuzz.zl"))
+    for config in LEGAL_CONFIGS:
+        program = compile_program(source, "fuzz.zl", opt=config)
+        res = simulate(program, t3d(4, "pvm"), ExecutionMode.NUMERIC)
+        for array in ARRAYS:
+            assert np.allclose(
+                res.array(array), ref.array(array), rtol=1e-12, atol=1e-12
+            ), f"{config.pipeline().describe()}: {array} diverged\n{source}"
+
+
+@given(program_bodies())
+@settings(max_examples=15, deadline=None)
+def test_every_report_reconciles_with_static_counts(body):
+    """Instrumentation: for every pipeline, planned equals the naive
+    static count, final equals the optimized static count, and the
+    per-pass removal/merge totals account for the whole delta — with the
+    post-pass verifier enabled throughout."""
+    source = HEADER + body + FOOTER
+    lowered = compile_program(source, "fuzz.zl")
+    naive = static_comm_count(
+        compile_program(source, "fuzz.zl", opt=OptimizationConfig.baseline())
+    )
+    for config in LEGAL_CONFIGS:
+        program, report = optimize_with_report(lowered, config, verify=True)
+        assert report.signature == config.pipeline().signature()
+        assert report.planned == naive
+        assert report.final == static_comm_count(program)
+        assert report.reconciles(), config.pipeline().describe()

@@ -1,7 +1,5 @@
 """Unit tests for instrumentation counters."""
 
-import numpy as np
-
 from repro.ir.nodes import CommDescriptor, CommEntry
 from repro.lang.regions import Direction, Region
 from repro.runtime.grid import ProcessorGrid

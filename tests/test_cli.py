@@ -91,6 +91,36 @@ def test_experiments_engine_flags(tmp_path, capsys):
     assert capsys.readouterr().out == cold
 
 
+def test_passes_lists_the_registry(capsys):
+    assert main(["passes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("redundancy", "interblock", "combining", "pipelining"):
+        assert name in out
+    assert "requires redundancy" in out
+    assert "terminal" in out
+
+
+def test_passes_dumps_a_key_pipeline(capsys):
+    assert main(["passes", "--key", "pl_maxlat"]) == 0
+    out = capsys.readouterr().out
+    assert "redundancy -> combining[max_latency] -> pipelining" in out
+
+    assert main(["passes", "--key", "baseline"]) == 0
+    assert "(empty)" in capsys.readouterr().out
+
+
+def test_experiments_explain_appends_attribution(tmp_path, capsys):
+    assert main([
+        "experiments", "--bench", "swm", "--procs", "16",
+        "--config", "n=16", "--config", "nsteps=2",
+        "--no-cache", "--cache-dir", str(tmp_path), "--explain",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8, by pass" in out
+    assert "Per-pass attribution" in out
+    assert "combining" in out and "share" in out
+
+
 def test_experiments_no_cache_leaves_no_cache_dir(tmp_path, capsys):
     cache_dir = tmp_path / "cache"
     assert main([
