@@ -1,0 +1,94 @@
+"""Observability overhead: disabled tracing must cost < 5%.
+
+The zero-cost-when-disabled claim is the contract that lets every hot
+path in the package stay instrumented (pass loops, the simulator, the
+engine's cache probes).  This benchmark times one simulation three
+ways:
+
+* **raw** — ``_Simulation(...).run()`` directly, bypassing the
+  instrumented ``simulate`` wrapper entirely (the pre-instrumentation
+  seed path);
+* **disabled** — ``simulate()`` with no recorder installed: the guarded
+  helpers take the ``is None`` branch;
+* **enabled** — ``simulate()`` under a live recorder with a
+  ``MemorySink``, for scale (spans, counters, and the per-run metrics
+  all record).
+
+Asserts the ISSUE bar — disabled within 5% of raw — on a min-of-N
+basis (minima are robust to scheduler noise where means are not), then
+benchmarks the disabled path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ExecutionMode, OptimizationConfig, compile_program, t3d
+from repro.obs import MemorySink, recording
+from repro.obs import core as obs
+from repro.programs import benchmark_source, small_config
+from repro.runtime.executor import _Simulation
+
+NPROCS = 16
+ROUNDS = 12
+
+
+def _compiled():
+    return compile_program(
+        benchmark_source("simple"),
+        "simple.zl",
+        config=small_config("simple"),
+        opt=OptimizationConfig.full(),
+    )
+
+
+def _min_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_tracing_overhead(benchmark):
+    from repro import simulate
+
+    program = _compiled()
+    machine = t3d(NPROCS)
+    obs.shutdown()  # make sure no recorder leaked in from another test
+    assert not obs.enabled()
+
+    def raw():
+        _Simulation(program, machine, ExecutionMode.TIMING, None, None).run()
+
+    def disabled():
+        simulate(program, machine, ExecutionMode.TIMING)
+
+    def enabled():
+        simulate(program, machine, ExecutionMode.TIMING)
+
+    # interleave-free min-of-N for each path; warm caches first
+    raw()
+    disabled()
+    raw_s = _min_of(raw)
+    disabled_s = _min_of(disabled)
+    with recording(MemorySink()):
+        enabled_s = _min_of(enabled)
+
+    assert disabled_s <= raw_s * 1.05, (
+        f"disabled tracing costs {(disabled_s / raw_s - 1) * 100:.1f}% "
+        f"(raw {raw_s * 1e3:.2f}ms vs disabled {disabled_s * 1e3:.2f}ms); "
+        "the zero-cost-when-disabled contract is broken"
+    )
+
+    benchmark.extra_info["raw_ms"] = round(raw_s * 1e3, 3)
+    benchmark.extra_info["disabled_ms"] = round(disabled_s * 1e3, 3)
+    benchmark.extra_info["enabled_ms"] = round(enabled_s * 1e3, 3)
+    benchmark.extra_info["disabled_overhead_pct"] = round(
+        (disabled_s / raw_s - 1) * 100, 2
+    )
+    benchmark.extra_info["enabled_overhead_pct"] = round(
+        (enabled_s / raw_s - 1) * 100, 2
+    )
+    benchmark.pedantic(disabled, rounds=ROUNDS, iterations=1)

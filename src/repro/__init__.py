@@ -29,6 +29,15 @@ A from-scratch implementation of the paper's entire system:
 
   >>> study = run_study(benchmarks=("swm",), nprocs=16, jobs=4)  # doctest: +SKIP
 
+* a unified **observability layer** — hierarchical spans, a metrics
+  registry, JSONL / Perfetto (Chrome trace-event) / in-memory sinks,
+  and telemetry-driven regression baselines — :mod:`repro.obs`, wired
+  through the whole stack and zero-cost when disabled (the default):
+
+  >>> from repro.obs import MemorySink, recording  # doctest: +SKIP
+  >>> with recording(MemorySink()) as rec:         # doctest: +SKIP
+  ...     run_study(benchmarks=("simple",))
+
 Quickstart
 ----------
 
@@ -61,8 +70,16 @@ from repro.comm import (
     static_comm_count,
 )
 from repro.experiments_registry import ExperimentSpec, experiment_spec
-from repro.engine import ExperimentEngine, Job, MachineSpec, StudyResult, run_study
+from repro.engine import (
+    ExperimentEngine,
+    Job,
+    MachineSpec,
+    StudyResult,
+    load_telemetry,
+    run_study,
+)
 from repro.errors import (
+    BaselineError,
     LexError,
     MachineError,
     OptimizationError,
@@ -71,6 +88,7 @@ from repro.errors import (
     RuntimeFault,
     SemanticError,
 )
+from repro import obs
 from repro.frontend import analyze, parse
 from repro.ir import emit_c, lower
 from repro.machine import Machine, machine_by_name, paragon, t3d
@@ -94,6 +112,7 @@ __all__ = [
     "static_comm_count",
     # the experiment engine
     "run_study",
+    "load_telemetry",
     "ExperimentEngine",
     "ExperimentSpec",
     "experiment_spec",
@@ -110,8 +129,11 @@ __all__ = [
     "reference_run",
     "ExecutionMode",
     "RunResult",
+    # observability
+    "obs",
     # errors
     "ReproError",
+    "BaselineError",
     "LexError",
     "ParseError",
     "SemanticError",

@@ -25,6 +25,20 @@ Commands
     with ``--key KEY``, show the pass pipeline that experiment key
     compiles to.
 
+``trace BENCH``
+    Run one benchmark's whole study with tracing on and write a Chrome
+    trace-event file (``--out``, Perfetto-loadable) containing the
+    compiler/pass/engine/simulation spans, the cache and IRONMAN
+    counters, and the bridged per-rank simulated timelines
+    (``--ranks``); ``--jsonl PATH`` additionally writes the raw
+    structured event log.
+
+``compare``
+    Re-run a study and diff its counts and times against a committed
+    baseline (``--baseline PATH``); communication counts must match
+    exactly, model times within ``--tolerance``.  Exits nonzero on any
+    drift; ``--update`` (re)writes the baseline instead.
+
 ``figure6``
     Run the synthetic overhead benchmark and print the Figure 6 curves.
 """
@@ -36,11 +50,13 @@ import sys
 from pathlib import Path
 
 from repro import (
+    BaselineError,
     ExecutionMode,
     OptimizationConfig,
     compile_program,
     emit_c,
     machine_by_name,
+    obs,
     run_study,
     simulate,
 )
@@ -48,8 +64,9 @@ from repro.analysis import EXPERIMENT_KEYS, experiment_spec, format_table
 from repro.analysis import attribution as attr
 from repro.analysis import figures as fig
 from repro.comm import registered_passes
+from repro.engine import Job, MachineSpec
 from repro.frontend import parse_config_assignments
-from repro.programs import BENCHMARKS
+from repro.programs import BENCHMARKS, benchmark_source
 
 
 def _parse_config(pairs):
@@ -172,6 +189,116 @@ def cmd_passes(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    overrides = _parse_config(args.config)
+    sinks = [obs.ChromeTraceSink(args.out)]
+    if args.jsonl:
+        sinks.append(obs.JsonlSink(args.jsonl))
+    recorder = obs.configure(*sinks)
+    try:
+        with recorder.span("trace", benchmark=args.bench):
+            # the whole study, serial and uncached, so every compile
+            # phase, optimizer pass, and cache counter lands in-process
+            run_study(
+                benchmarks=(args.bench,),
+                nprocs=args.procs,
+                machine=args.machine,
+                config_overrides={args.bench: overrides} if overrides else None,
+                jobs=1,
+                cache=False,
+            )
+            # bridge per-rank simulated timelines at the chosen key into
+            # the same trace document (model time, separate process row)
+            spec = experiment_spec(args.opt)
+            job = Job.make(
+                benchmark=args.bench,
+                experiment=args.opt,
+                machine=MachineSpec(args.machine, args.procs),
+                config=overrides or None,
+            )
+            program = compile_program(
+                benchmark_source(args.bench),
+                f"{args.bench}.zl",
+                config=job.merged_config(),
+                opt=spec.opt,
+            )
+            machine = machine_by_name(args.machine, args.procs, spec.library)
+            bridged = 0
+            for rank in range(min(args.ranks, args.procs)):
+                result = simulate(
+                    program, machine, ExecutionMode.TIMING, trace_rank=rank
+                )
+                bridged += obs.bridge_rank_trace(result.trace, rank=rank)
+    finally:
+        metrics = obs.shutdown() or {}
+    counters = metrics.get("counters", {})
+    cache_hits = counters.get("engine.result_cache.hit", 0)
+    cache_misses = counters.get("engine.result_cache.miss", 0)
+    print(f"trace written:      {args.out}")
+    if args.jsonl:
+        print(f"event log written:  {args.jsonl}")
+    print(f"engine cells:       {cache_hits + cache_misses} "
+          f"({cache_hits} cache hits, {cache_misses} misses)")
+    print(f"bridged timelines:  {min(args.ranks, args.procs)} ranks, "
+          f"{bridged} events ({args.opt} on {args.machine}/{args.procs})")
+    print(f"counters recorded:  {len(counters)}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    baseline_path = Path(args.baseline)
+    try:
+        existing = (
+            obs.load_baseline(baseline_path) if baseline_path.exists() else None
+        )
+        if existing is None and not args.update:
+            raise SystemExit(
+                f"baseline {baseline_path} does not exist "
+                "(create it with --update)"
+            )
+        benches = args.bench or (
+            sorted(existing["benchmarks"]) if existing else None
+        )
+        if not benches:
+            raise SystemExit(
+                "nothing to compare: pass --bench or point --baseline at "
+                "an existing baseline"
+            )
+        procs = args.procs or (existing["nprocs"] if existing else 64)
+        machine = args.machine or (existing["machine"] if existing else "t3d")
+        overrides = _parse_config(args.config)
+        study = run_study(
+            benchmarks=benches,
+            nprocs=procs,
+            machine=machine,
+            config_overrides=(
+                {b: overrides for b in benches} if overrides else None
+            ),
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+        cells = sum(len(v) for v in study.results.values())
+        snapshot = obs.snapshot_study(
+            study, note=f"repro compare --update ({', '.join(benches)})"
+        )
+        if args.update:
+            obs.write_baseline(baseline_path, snapshot)
+            print(f"baseline updated: {baseline_path} ({cells} cells)")
+            return 0
+        drifts = obs.diff_baseline(
+            snapshot, existing, time_tolerance=args.tolerance
+        )
+    except BaselineError as exc:
+        raise SystemExit(f"compare: {exc}") from None
+    print(
+        f"compared {cells} cells against {baseline_path} "
+        f"(counts exact, times within {args.tolerance:.0%})"
+    )
+    print(obs.format_drifts(drifts))
+    return 1 if drifts else 0
+
+
 def cmd_figure6(args) -> int:
     headers, rows = fig.figure6_overhead(reps=args.reps)
     print(format_table(headers, rows, float_fmt=".1f", title="Figure 6 — exposed communication cost (us)"))
@@ -227,6 +354,43 @@ def main(argv=None) -> int:
     p.add_argument("--key", default=None, choices=EXPERIMENT_KEYS,
                    help="show the pipeline this experiment key compiles to")
     p.set_defaults(func=cmd_passes)
+
+    p = sub.add_parser(
+        "trace", help="run one benchmark's study with tracing on"
+    )
+    p.add_argument("bench", choices=BENCHMARKS)
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="Chrome trace-event output file (open in Perfetto)")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="also write the raw structured event log")
+    p.add_argument("--opt", default="pl", choices=EXPERIMENT_KEYS,
+                   help="experiment key for the bridged per-rank timelines")
+    p.add_argument("--machine", default="t3d")
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--config", action="append", metavar="NAME=VALUE")
+    p.add_argument("--ranks", type=_positive_int, default=4, metavar="N",
+                   help="how many per-rank timelines to bridge (default 4)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "compare", help="diff a study's metrics against a baseline"
+    )
+    p.add_argument("--baseline", required=True, metavar="PATH")
+    p.add_argument("--bench", action="append", choices=BENCHMARKS,
+                   help="benchmarks to run (default: the baseline's)")
+    p.add_argument("--procs", type=int, default=None,
+                   help="processor count (default: the baseline's)")
+    p.add_argument("--machine", default=None,
+                   help="machine name (default: the baseline's)")
+    p.add_argument("--config", action="append", metavar="NAME=VALUE")
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N")
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="relative tolerance for model times (default 0.05)")
+    p.add_argument("--update", action="store_true",
+                   help="(re)write the baseline instead of comparing")
+    p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")
     p.add_argument("--reps", type=int, default=1000)

@@ -45,6 +45,7 @@ from repro.comm.passes import (
 )
 from repro.errors import OptimizationError
 from repro.ir import nodes as ir
+from repro.obs import core as obs
 
 
 @dataclass(frozen=True)
@@ -229,13 +230,20 @@ def optimize_with_report(
             )
     pipeline = config.pipeline(verify=verify)
     report = PipelineReport(signature=pipeline.signature())
-    optimized = ir.IRProgram(
-        name=program.name,
-        body=_optimize_body(program.body, pipeline, report),
-        arrays=dict(program.arrays),
-        scalars=list(program.scalars),
-        config_values=dict(program.config_values),
-    )
+    with obs.span(
+        "optimize:pipeline",
+        program=program.name,
+        signature=pipeline.describe(),
+    ):
+        optimized = ir.IRProgram(
+            name=program.name,
+            body=_optimize_body(program.body, pipeline, report),
+            arrays=dict(program.arrays),
+            scalars=list(program.scalars),
+            config_values=dict(program.config_values),
+        )
+    obs.add("opt.transfers.planned", report.planned)
+    obs.add("opt.transfers.final", report.final)
     return optimized, report
 
 

@@ -78,6 +78,7 @@ from repro.comm.redundancy import remove_redundant
 from repro.errors import OptimizationError
 from repro.ir import nodes as ir
 from repro.ironman.calls import CallKind
+from repro.obs import core as obs
 
 
 # ---------------------------------------------------------------------------
@@ -478,9 +479,12 @@ class PassPipeline:
             verify_plan(plan, "plan_naive")
         stats: List[PassStats] = []
         for p in self.passes:
-            t0 = time.perf_counter()
-            s = p.run(plan, ctx)
-            s.wall_s = time.perf_counter() - t0
+            with obs.span(f"pass:{p.name}", signature=p.signature()):
+                t0 = time.perf_counter()
+                s = p.run(plan, ctx)
+                s.wall_s = time.perf_counter() - t0
+            obs.add(f"opt.pass.{p.name}.removed", s.removed)
+            obs.add(f"opt.pass.{p.name}.merged", s.merged)
             if self.verify:
                 verify_plan(plan, f"after {p.signature()}")
             stats.append(s)

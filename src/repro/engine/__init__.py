@@ -17,12 +17,18 @@ See ``docs/ENGINE.md`` for the job-matrix model, cache keys, and the
 telemetry schema.
 """
 
-from repro.engine.cache import NullCache, ResultCache, default_cache_root
+from repro.engine.cache import (
+    RECORD_SCHEMA,
+    NullCache,
+    ResultCache,
+    default_cache_root,
+)
 from repro.engine.core import (
     ExperimentEngine,
     JobOutcome,
     StudyResult,
     build_matrix,
+    load_telemetry,
     run_study,
 )
 from repro.engine.jobs import ENGINE_VERSION, Job, MachineSpec, source_sha
@@ -35,12 +41,14 @@ __all__ = [
     "JobOutcome",
     "MachineSpec",
     "NullCache",
+    "RECORD_SCHEMA",
     "ResultCache",
     "StudyResult",
     "build_matrix",
     "clear_compile_cache",
     "default_cache_root",
     "execute_job",
+    "load_telemetry",
     "run_study",
     "source_sha",
 ]

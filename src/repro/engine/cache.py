@@ -18,7 +18,12 @@ import os
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.obs import core as obs
+
 #: Schema version of the stored record; bump together with record shape.
+#: The telemetry *envelope* (``StudyResult.write_telemetry`` /
+#: ``load_telemetry``) is versioned by this same constant, so a record
+#: shape change can never silently outrun the document that carries it.
 #: 2: records carry the optimizer's per-pass ``pipeline`` report.
 RECORD_SCHEMA = 2
 
@@ -56,13 +61,17 @@ class ResultCache:
         path = self._path(fingerprint)
         try:
             record = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
+            return None
+        except ValueError:
+            obs.add("engine.result_cache.invalid")
             return None
         if (
             not isinstance(record, dict)
             or record.get("schema") != RECORD_SCHEMA
             or record.get("fingerprint") != fingerprint
         ):
+            obs.add("engine.result_cache.invalid")
             return None
         return record
 
@@ -75,8 +84,9 @@ class ResultCache:
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
             os.replace(tmp, path)
+            obs.add("engine.result_cache.store")
         except OSError:
-            pass
+            obs.add("engine.result_cache.store_error")
 
 
 def make_cache(

@@ -35,10 +35,11 @@ from typing import (
 
 from repro.errors import ExperimentError
 from repro.experiments_registry import EXPERIMENT_KEYS, ExperimentResult
+from repro.obs import core as obs
 from repro.programs import BENCHMARKS
 from repro.runtime import ExecutionMode
 
-from repro.engine.cache import NullCache, ResultCache, make_cache
+from repro.engine.cache import RECORD_SCHEMA, NullCache, ResultCache, make_cache
 from repro.engine.jobs import ConfigValue, Job, MachineSpec
 from repro.engine.worker import execute_job
 
@@ -96,29 +97,54 @@ class ExperimentEngine:
 
     def run(self, jobs: Sequence[Job]) -> List[JobOutcome]:
         """Run every job, returning outcomes in submission order."""
-        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
-        misses: List[tuple] = []
-        for i, job in enumerate(jobs):
-            fp = job.fingerprint()
-            record = self.cache.get(fp)
-            if record is not None:
-                record = dict(record, cache_hit=True)
-                outcomes[i] = JobOutcome(job=job, record=record, cached=True)
-            else:
-                misses.append((i, job, fp))
+        with obs.span("engine:run", jobs=len(jobs), workers=self.jobs or 1):
+            outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+            misses: List[tuple] = []
+            for i, job in enumerate(jobs):
+                fp = job.fingerprint()
+                record = self.cache.get(fp)
+                if record is not None:
+                    obs.add("engine.result_cache.hit")
+                    record = dict(record, cache_hit=True)
+                    outcomes[i] = JobOutcome(job=job, record=record, cached=True)
+                else:
+                    obs.add("engine.result_cache.miss")
+                    misses.append((i, job, fp))
 
-        if misses:
-            todo = [job for _, job, _ in misses]
-            if self.jobs and self.jobs > 1 and len(todo) > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    records = list(pool.map(execute_job, todo))
-            else:
-                records = [execute_job(job) for job in todo]
-            for (i, job, fp), record in zip(misses, records):
-                self.cache.put(fp, record)
-                outcomes[i] = JobOutcome(job=job, record=record, cached=False)
+            if misses:
+                todo = [job for _, job, _ in misses]
+                pooled = bool(self.jobs and self.jobs > 1 and len(todo) > 1)
+                if pooled:
+                    with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                        records = list(pool.map(execute_job, todo))
+                else:
+                    records = [execute_job(job) for job in todo]
+                for (i, job, fp), record in zip(misses, records):
+                    self.cache.put(fp, record)
+                    outcomes[i] = JobOutcome(job=job, record=record, cached=False)
+                    if pooled:
+                        # pool workers start with tracing off; their
+                        # warnings travel home in the job record and are
+                        # surfaced through the event sink here (inline
+                        # execution already emitted them live)
+                        _reemit_worker_warnings(record)
 
-        return [o for o in outcomes if o is not None]
+            return [o for o in outcomes if o is not None]
+
+
+def _reemit_worker_warnings(record: dict) -> None:
+    """Surface a pool worker's simulation warnings through the active
+    event sink (no-op when tracing is off)."""
+    if not obs.enabled():
+        return
+    for message in record["result"].get("warnings", ()):
+        obs.event(
+            "warning",
+            message=message,
+            benchmark=record["benchmark"],
+            experiment=record["experiment"],
+            worker_pid=record.get("worker_pid"),
+        )
 
 
 def build_matrix(
@@ -189,17 +215,55 @@ class StudyResult(MappingABC):
         return sum(o.cached for o in self.outcomes)
 
     def write_telemetry(self, path: Union[str, Path]) -> Path:
-        """Persist the telemetry records as a JSON document."""
+        """Persist the telemetry records as a JSON document.
+
+        The envelope is versioned by the same ``RECORD_SCHEMA`` constant
+        the per-job records carry, so the document version can never
+        drift from the records inside it; read it back with
+        :func:`load_telemetry`.
+        """
         path = Path(path)
         path.write_text(
             json.dumps(
-                {"schema": 1, "records": self.telemetry},
+                {"schema": RECORD_SCHEMA, "records": self.telemetry},
                 indent=1,
                 sort_keys=True,
             )
             + "\n"
         )
         return path
+
+
+def load_telemetry(path: Union[str, Path]) -> List[dict]:
+    """Read back a telemetry document written by
+    :meth:`StudyResult.write_telemetry`.
+
+    Rejects non-telemetry files and unknown schema versions — of the
+    envelope *and* of every record inside it — instead of handing the
+    caller records shaped for a different engine version.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise ExperimentError(f"cannot read telemetry {path}: {exc}") from None
+    except ValueError as exc:
+        raise ExperimentError(f"telemetry {path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or not isinstance(doc.get("records"), list):
+        raise ExperimentError(f"{path} is not a telemetry document")
+    if doc.get("schema") != RECORD_SCHEMA:
+        raise ExperimentError(
+            f"telemetry {path} has envelope schema {doc.get('schema')!r}; "
+            f"this version reads schema {RECORD_SCHEMA}"
+        )
+    for i, record in enumerate(doc["records"]):
+        if not isinstance(record, dict) or record.get("schema") != RECORD_SCHEMA:
+            raise ExperimentError(
+                f"telemetry {path}: record {i} has schema "
+                f"{record.get('schema') if isinstance(record, dict) else None!r}; "
+                f"expected {RECORD_SCHEMA}"
+            )
+    return doc["records"]
 
 
 def run_study(

@@ -37,6 +37,7 @@ from typing import Dict, Tuple
 from repro.comm import OptimizationConfig, optimize_with_report
 from repro.experiments_registry import experiment_spec
 from repro.ir.nodes import IRProgram
+from repro.obs import core as obs
 from repro.programs import benchmark_source
 from repro.programs.common import compile_source
 from repro.runtime import ExecutionMode, simulate
@@ -73,12 +74,19 @@ def compile_cached(
     opt_key = (sha, config_items, opt)
     cached = _OPTIMIZED.get(opt_key)
     if cached is not None:
+        obs.add("engine.compile_cache.optimized_hit")
         program, report = cached
         return program, report, 0.0, 0.0, True, True
 
+    obs.add("engine.compile_cache.optimized_miss")
     low_key = (sha, config_items)
     lowered = _LOWERED.get(low_key)
     lowered_hit = lowered is not None
+    obs.add(
+        "engine.compile_cache.lowered_hit"
+        if lowered_hit
+        else "engine.compile_cache.lowered_miss"
+    )
     compile_s = 0.0
     if lowered is None:
         t0 = time.perf_counter()
@@ -110,18 +118,25 @@ def execute_job(job: Job) -> dict:
     """
     started = time.time()
     t_total = time.perf_counter()
-    spec = experiment_spec(job.experiment)
-    machine = job.machine.build(spec.library)
+    with obs.span(
+        "job",
+        benchmark=job.benchmark,
+        experiment=job.experiment,
+        machine=job.machine.name,
+        nprocs=job.machine.nprocs,
+    ):
+        spec = experiment_spec(job.experiment)
+        machine = job.machine.build(spec.library)
 
-    merged = job.merged_config()
-    config_items = tuple(sorted(merged.items()))
-    program, pipeline, compile_s, optimize_s, lowered_hit, optimized_hit = (
-        compile_cached(job.benchmark, config_items, spec.opt)
-    )
+        merged = job.merged_config()
+        config_items = tuple(sorted(merged.items()))
+        program, pipeline, compile_s, optimize_s, lowered_hit, optimized_hit = (
+            compile_cached(job.benchmark, config_items, spec.opt)
+        )
 
-    t0 = time.perf_counter()
-    result = simulate(program, machine, ExecutionMode(job.mode))
-    simulate_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result = simulate(program, machine, ExecutionMode(job.mode))
+        simulate_s = time.perf_counter() - t0
 
     return {
         "schema": RECORD_SCHEMA,

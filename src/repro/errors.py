@@ -76,3 +76,8 @@ class RuntimeFault(ReproError):
 class ExperimentError(ReproError):
     """Raised by the experiment harness for unknown experiment keys or
     benchmark names."""
+
+
+class BaselineError(ReproError):
+    """Raised by :mod:`repro.obs.baseline` for unreadable, malformed, or
+    unknown-schema baseline/telemetry documents."""

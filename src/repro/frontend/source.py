@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.obs import core as obs
+
 ConfigValue = Union[int, float]
 
 
@@ -85,6 +87,10 @@ class SourceFile:
 
     def __post_init__(self) -> None:
         self._lines = self.text.splitlines()
+        # frontend phase telemetry: every compile starts by loading one
+        # of these, so the event marks the boundary between sources when
+        # several programs compile under one recorder
+        obs.event("frontend:source", source=self.name, lines=len(self._lines))
 
     def location(self, line: int, column: int) -> SourceLocation:
         """Build a location within this file."""

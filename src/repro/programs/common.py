@@ -8,6 +8,7 @@ from repro.comm import OptimizationConfig, optimize
 from repro.frontend import analyze, parse
 from repro.ir import lower
 from repro.ir.nodes import IRProgram
+from repro.obs import core as obs
 
 
 def compile_source(
@@ -21,8 +22,19 @@ def compile_source(
     ``opt=None`` returns the communication-free lowered program (what the
     sequential reference evaluator consumes); pass an
     :class:`~repro.comm.OptimizationConfig` to generate communication.
+
+    Each phase runs under an observability span (``frontend:parse``,
+    ``frontend:analyze``, ``ir:lower``, ``optimize``) when tracing is on
+    (:mod:`repro.obs`); a disabled recorder makes these no-ops.
     """
-    program = lower(analyze(parse(source, name), config))
-    if opt is None:
-        return program
-    return optimize(program, opt)
+    with obs.span("compile", source=name):
+        with obs.span("frontend:parse", source=name):
+            ast = parse(source, name)
+        with obs.span("frontend:analyze", source=name):
+            info = analyze(ast, config)
+        with obs.span("ir:lower", source=name):
+            program = lower(info)
+        if opt is None:
+            return program
+        with obs.span("optimize", source=name, config=opt.describe()):
+            return optimize(program, opt)

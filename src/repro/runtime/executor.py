@@ -35,6 +35,7 @@ from repro.ir import nodes as ir
 from repro.ironman.calls import CallKind
 from repro.lang.regions import Region
 from repro.machine.params import Machine
+from repro.obs import core as obs
 from repro.runtime.distarray import DistArray
 from repro.runtime.grid import ProcessorGrid
 from repro.runtime.instrument import Instrumentation
@@ -338,6 +339,34 @@ def simulate(
     trace_rank:
         Record the full event timeline (compute/send/recv/wait/...) of
         one processor; retrieve it as ``result.trace`` and render it with
-        :mod:`repro.analysis.timeline`.
+        :mod:`repro.analysis.timeline` or bridge it into a Perfetto
+        trace with :func:`repro.obs.bridge_rank_trace`.
     """
-    return _Simulation(program, machine, mode, repeat_cap, trace_rank).run()
+    with obs.span(
+        "simulate",
+        program=program.name,
+        machine=machine.name,
+        library=machine.library,
+        nprocs=machine.nprocs,
+        mode=mode.value,
+    ):
+        result = _Simulation(program, machine, mode, repeat_cap, trace_rank).run()
+    if obs.enabled():
+        _record_run_metrics(result)
+    return result
+
+
+def _record_run_metrics(result: RunResult) -> None:
+    """Post one finished run's model-side totals into the metrics
+    registry: the IRONMAN per-primitive call counts the instrumentation
+    gathered, communication volumes, and the model time histogram.
+    Called only when tracing is on."""
+    inst = result.instrument
+    for primitive, count in inst.call_counts.items():
+        obs.add(f"sim.calls.{primitive}", count)
+    obs.add("sim.runs", 1)
+    obs.add("sim.dynamic_comms", result.dynamic_comm_count)
+    obs.add("sim.messages", inst.total_messages)
+    obs.add("sim.bytes", inst.total_bytes)
+    obs.add("sim.reductions", inst.reductions)
+    obs.observe("sim.model_time_s", result.time)

@@ -17,9 +17,11 @@ Tracks the quantities the paper reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Set
 
 import numpy as np
+
+from repro.obs import core as obs
 
 
 @dataclass
@@ -32,7 +34,9 @@ class Instrumentation:
     bytes_moved: np.ndarray = field(init=False)
     call_counts: Dict[str, int] = field(default_factory=dict)
     reductions: int = 0
+    #: unique warnings in first-seen order (`warn` dedups via `_warned`)
     warnings: List[str] = field(default_factory=list)
+    _warned: Set[str] = field(default_factory=set, repr=False)
     #: per-rank time breakdown (seconds): local computation, communication
     #: software (per-call costs charged to the clock), and waiting
     #: (blocking on arrivals, readiness flags, and collectives)
@@ -67,8 +71,19 @@ class Instrumentation:
         self.reductions += 1
 
     def warn(self, message: str) -> None:
-        if message not in self.warnings:
-            self.warnings.append(message)
+        """Record a warning once, preserving first-seen order.
+
+        The set-backed dedup keeps repeated warnings O(1) (simulations
+        can re-warn every trip of a capped loop).  When tracing is on,
+        the warning also lands in the event sink the moment it happens;
+        for pool workers — where no recorder is active — the engine
+        re-emits warnings from the returned job records instead.
+        """
+        if message in self._warned:
+            return
+        self._warned.add(message)
+        self.warnings.append(message)
+        obs.event("warning", message=message)
 
     # ------------------------------------------------------------------
     @property

@@ -4,6 +4,9 @@ import pytest
 
 from repro import ExecutionMode, OptimizationConfig, simulate, t3d
 from repro.analysis.timeline import GLYPHS, render_timeline, summarize
+from repro.obs import ChromeTraceSink, MemorySink
+from repro.obs import core as obs
+from repro.obs.sinks import SIM_PID
 from repro.runtime.timing import TraceEvent
 from tests.conftest import compile_demo
 
@@ -88,6 +91,87 @@ class TestRendering:
 
     def test_legend_present(self, traced):
         assert "#=compute" in render_timeline(traced.trace)
+
+
+class TestRenderingEdgeCases:
+    def test_inverted_window_is_empty(self):
+        trace = [TraceEvent(0.0, 1.0, "compute")]
+        assert "empty window" in render_timeline(trace, start=2.0, end=1.0)
+
+    def test_degenerate_window_is_empty(self):
+        trace = [TraceEvent(0.0, 1.0, "compute")]
+        assert "empty window" in render_timeline(trace, start=1.0, end=1.0)
+
+    def test_zero_duration_events_render_blank_not_crash(self):
+        trace = [TraceEvent(0.5, 0.5, "send"), TraceEvent(1.0, 1.0, "wait")]
+        strip = render_timeline(trace, width=10).splitlines()[0]
+        assert strip == "|" + " " * 10 + "|"
+
+    def test_zero_duration_events_still_counted_in_summary(self):
+        trace = [TraceEvent(0.5, 0.5, "send"), TraceEvent(0.0, 1.0, "compute")]
+        rows = {k: (t, n) for k, t, n in summarize(trace)}
+        assert rows["send"] == (0.0, 1)
+        assert rows["compute"] == (pytest.approx(1.0), 1)
+
+    def test_width_one_clamps_to_a_single_cell(self):
+        trace = [
+            TraceEvent(0.0, 0.9, "compute"),
+            TraceEvent(0.9, 1.0, "send"),
+        ]
+        strip = render_timeline(trace, width=1).splitlines()[0]
+        assert strip == "|#|"
+
+    def test_event_past_window_end_is_clamped(self):
+        trace = [TraceEvent(0.0, 10.0, "compute")]
+        strip = render_timeline(trace, width=4, end=1.0).splitlines()[0]
+        assert strip == "|####|"
+
+    def test_unknown_kind_renders_placeholder(self):
+        trace = [TraceEvent(0.0, 1.0, "teleport")]
+        assert "?" in render_timeline(trace, width=4).splitlines()[0]
+
+    def test_summarize_empty_trace(self):
+        assert summarize([]) == []
+
+
+class TestExporterRoundTrip:
+    """The Perfetto exporter and the ASCII renderer must agree on what
+    one rank's timeline contains."""
+
+    @pytest.fixture()
+    def exported(self, traced, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "trace.json")
+        mem = MemorySink()
+        with obs.recording(sink, mem) as rec:
+            rec.bridge_rank_trace(traced.trace, rank=0)
+        rows = [
+            e
+            for e in sink.document()["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == SIM_PID
+        ]
+        return rows, mem
+
+    def test_event_count_matches(self, traced, exported):
+        rows, mem = exported
+        assert len(rows) == len(traced.trace)
+        assert len(mem.of_type("rank_event")) == len(traced.trace)
+
+    def test_ordering_and_kinds_match(self, traced, exported):
+        rows, _ = exported
+        assert [e["name"] for e in rows] == [e.kind for e in traced.trace]
+        assert [e["ts"] for e in rows] == [
+            pytest.approx(e.start * 1e6) for e in traced.trace
+        ]
+
+    def test_per_kind_totals_match_summarize(self, traced, exported):
+        rows, _ = exported
+        from collections import defaultdict
+
+        exported_totals = defaultdict(float)
+        for e in rows:
+            exported_totals[e["name"]] += e["dur"] / 1e6
+        for kind, total, _count in summarize(traced.trace):
+            assert exported_totals[kind] == pytest.approx(total)
 
 
 class TestSummary:

@@ -9,12 +9,14 @@ import pytest
 from repro import run_study
 from repro.analysis.experiments import run_benchmark_suite
 from repro.engine import (
+    RECORD_SCHEMA,
     ExperimentEngine,
     Job,
     MachineSpec,
     ResultCache,
     build_matrix,
     clear_compile_cache,
+    load_telemetry,
 )
 from repro.errors import ExperimentError
 from repro.programs import small_config
@@ -223,9 +225,45 @@ def test_telemetry_records_and_file(tmp_path):
     assert rec["timings"]["simulate_s"] > 0
     assert rec["timings"]["total_s"] >= rec["timings"]["simulate_s"]
 
+    # the envelope is versioned by the same constant as the records it
+    # wraps (they used to disagree: the envelope was frozen at 1)
     doc = json.loads(out.read_text())
-    assert doc["schema"] == 1
+    assert doc["schema"] == RECORD_SCHEMA
     assert [r["experiment"] for r in doc["records"]] == ["baseline", "cc"]
+    assert all(r["schema"] == RECORD_SCHEMA for r in doc["records"])
+
+
+def test_load_telemetry_round_trips(tmp_path):
+    out = tmp_path / "telemetry.json"
+    study = _study(tmp_path / "cache", telemetry=out)
+    assert load_telemetry(out) == study.telemetry
+
+
+def test_load_telemetry_rejects_unknown_envelope_schema(tmp_path):
+    out = tmp_path / "telemetry.json"
+    _study(tmp_path / "cache", telemetry=out)
+    doc = json.loads(out.read_text())
+    doc["schema"] = RECORD_SCHEMA + 1
+    out.write_text(json.dumps(doc))
+    with pytest.raises(ExperimentError, match="schema"):
+        load_telemetry(out)
+
+
+def test_load_telemetry_rejects_drifted_record_schema(tmp_path):
+    out = tmp_path / "telemetry.json"
+    _study(tmp_path / "cache", telemetry=out)
+    doc = json.loads(out.read_text())
+    doc["records"][0]["schema"] = RECORD_SCHEMA + 1
+    out.write_text(json.dumps(doc))
+    with pytest.raises(ExperimentError, match="record"):
+        load_telemetry(out)
+
+
+def test_load_telemetry_rejects_non_envelope_json(tmp_path):
+    out = tmp_path / "telemetry.json"
+    out.write_text(json.dumps([{"schema": RECORD_SCHEMA}]))
+    with pytest.raises(ExperimentError, match="not a telemetry document"):
+        load_telemetry(out)
 
 
 def test_telemetry_carries_reconciling_pipeline_report(tmp_path):

@@ -1,0 +1,124 @@
+"""Tests for the JSONL and Chrome trace-event sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import ChromeTraceSink, JsonlSink, MemorySink
+from repro.obs import core as obs
+from repro.obs.sinks import HOST_PID, SIM_PID
+from repro.runtime.timing import TraceEvent
+
+
+@pytest.fixture(autouse=True)
+def tracing_off():
+    obs.shutdown()
+    yield
+    obs.shutdown()
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.recording(JsonlSink(path)):
+            with obs.span("compile", source="x.zl"):
+                obs.add("c", 2)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        # counter emits inside the span, span on exit, metrics at close
+        assert [r["type"] for r in lines] == ["counter", "span", "metrics"]
+        assert lines[1]["attrs"] == {"source": "x.zl"}
+
+    def test_empty_trace_leaves_a_valid_empty_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert path.exists() and path.read_text() == ""
+
+    def test_unserializable_attrs_fall_back_to_str(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.recording(JsonlSink(path)):
+            obs.event("x", where=object())
+        record = json.loads(path.read_text().splitlines()[0])
+        assert "object object" in record["attrs"]["where"]
+
+
+class TestChromeTrace:
+    def _run(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(path)
+        with obs.recording(sink) as rec:
+            with obs.span("compile", source="x.zl"):
+                obs.add("engine.result_cache.miss")
+            obs.event("warning", message="m")
+            obs.gauge("g", 2.5)
+            rec.bridge_rank_trace(
+                [TraceEvent(0.0, 0.25, "compute", "A")], rank=1
+            )
+        return path, json.loads(path.read_text())
+
+    def test_writes_a_loadable_document_on_close(self, tmp_path):
+        _, doc = self._run(tmp_path)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["generator"] == "repro.obs"
+
+    def test_span_becomes_complete_event_in_microseconds(self, tmp_path):
+        _, doc = self._run(tmp_path)
+        (span,) = [e for e in doc["traceEvents"] if e["name"] == "compile"]
+        assert span["ph"] == "X"
+        assert (span["pid"], span["tid"]) == (HOST_PID, 0)
+        assert span["dur"] >= 0
+        assert span["args"] == {"source": "x.zl"}
+
+    def test_counters_and_gauges_become_counter_tracks(self, tmp_path):
+        _, doc = self._run(tmp_path)
+        tracks = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert tracks["engine.result_cache.miss"]["args"] == {"value": 1}
+        assert tracks["g"]["args"] == {"value": 2.5}
+
+    def test_events_become_instants(self, tmp_path):
+        _, doc = self._run(tmp_path)
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "warning"
+        assert instant["args"] == {"message": "m"}
+
+    def test_rank_events_get_their_own_process(self, tmp_path):
+        _, doc = self._run(tmp_path)
+        (ev,) = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("pid") == SIM_PID
+        ]
+        assert (ev["tid"], ev["name"]) == (1, "compute")
+        assert ev["ts"] == 0.0 and ev["dur"] == pytest.approx(0.25e6)
+
+    def test_metadata_names_processes_and_rank_threads(self, tmp_path):
+        _, doc = self._run(tmp_path)
+        meta = {
+            (e["pid"], e.get("tid"), e["name"]): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta[(HOST_PID, None, "process_name")] == "host"
+        assert meta[(SIM_PID, 1, "thread_name")] == "rank 1"
+
+    def test_final_metrics_land_in_other_data(self, tmp_path):
+        _, doc = self._run(tmp_path)
+        metrics = doc["otherData"]["metrics"]
+        assert metrics["counters"]["engine.result_cache.miss"] == 1
+        assert metrics["counters"]["sim.trace.rank1.events"] == 1
+
+    def test_document_available_before_close(self):
+        sink = ChromeTraceSink("/nonexistent/never-written.json")
+        sink.emit({"type": "event", "name": "x", "ts": 0.0})
+        doc = sink.document()
+        assert any(e["ph"] == "i" for e in doc["traceEvents"])
+
+
+class TestFanOut:
+    def test_all_sinks_receive_every_record(self, tmp_path):
+        mem = MemorySink()
+        jsonl = JsonlSink(tmp_path / "e.jsonl")
+        with obs.recording(mem, jsonl):
+            obs.add("c")
+        lines = (tmp_path / "e.jsonl").read_text().splitlines()
+        assert len(lines) == len(mem.records) == 2  # counter + metrics

@@ -69,3 +69,38 @@ def test_warnings_deduplicated():
     inst.warn("same thing")
     inst.warn("same thing")
     assert inst.warnings == ["same thing"]
+
+
+def test_warnings_keep_first_seen_order():
+    inst = Instrumentation(4)
+    for msg in ("b", "a", "c", "a", "b", "d"):
+        inst.warn(msg)
+    assert inst.warnings == ["b", "a", "c", "d"]
+
+
+def test_warn_dedup_scales_linearly():
+    # the dedup is set-backed: re-warning must not rescan the list
+    # (it used to be an O(n^2) `in list` probe per call)
+    inst = Instrumentation(4)
+    for i in range(5000):
+        inst.warn(f"w{i % 50}")
+    assert len(inst.warnings) == 50
+    assert inst._warned == set(inst.warnings)
+
+
+def test_warn_surfaces_through_the_event_sink():
+    from repro.obs import MemorySink, recording
+
+    inst = Instrumentation(4)
+    sink = MemorySink()
+    with recording(sink):
+        inst.warn("trouble")
+        inst.warn("trouble")  # deduped: emitted once
+    (event,) = sink.events("warning")
+    assert event["attrs"] == {"message": "trouble"}
+
+
+def test_warn_is_silent_when_tracing_off():
+    inst = Instrumentation(4)
+    inst.warn("trouble")  # must not raise or require a recorder
+    assert inst.warnings == ["trouble"]

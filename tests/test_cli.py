@@ -121,6 +121,107 @@ def test_experiments_explain_appends_attribution(tmp_path, capsys):
     assert "combining" in out and "share" in out
 
 
+def test_trace_writes_perfetto_and_jsonl(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    assert main([
+        "trace", "swm", "--out", str(trace), "--jsonl", str(jsonl),
+        "--procs", "4", "--ranks", "2",
+        "--config", "n=16", "--config", "nsteps=2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trace written" in out and "bridged timelines" in out
+
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    span_names = {e["name"] for e in events if e["ph"] == "X" and e["pid"] == 1}
+    assert "compile" in span_names
+    assert any(n.startswith("pass:") for n in span_names)
+    counter_names = {e["name"] for e in events if e["ph"] == "C"}
+    assert "engine.result_cache.miss" in counter_names
+    # bridged per-rank timelines land under their own process
+    assert {e["tid"] for e in events if e["ph"] == "X" and e["pid"] == 2} == {0, 1}
+    assert doc["otherData"]["metrics"]["counters"]["engine.result_cache.miss"] == 6
+
+    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert {r["type"] for r in lines} >= {"span", "counter", "rank_event", "metrics"}
+
+
+def test_trace_leaves_tracing_disabled_after(tmp_path):
+    from repro.obs import core as obs
+
+    assert main([
+        "trace", "swm", "--out", str(tmp_path / "t.json"),
+        "--procs", "4", "--ranks", "1",
+        "--config", "n=16", "--config", "nsteps=2",
+    ]) == 0
+    assert not obs.enabled()
+
+
+COMPARE_SCALE = [
+    "--bench", "swm", "--procs", "4",
+    "--config", "n=16", "--config", "nsteps=2",
+]
+
+
+def test_compare_update_then_clean_rerun(tmp_path, capsys):
+    baseline = tmp_path / "baselines" / "swm.json"
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(
+        ["compare", "--baseline", str(baseline), "--update"]
+        + COMPARE_SCALE + cache
+    ) == 0
+    assert "baseline updated" in capsys.readouterr().out
+
+    # identical rerun: exit 0, no drift; benchmarks/shape come from the
+    # baseline itself (no --bench/--procs needed)
+    code = main(
+        ["compare", "--baseline", str(baseline),
+         "--config", "n=16", "--config", "nsteps=2"] + cache
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no drift from baseline" in out
+
+
+def test_compare_detects_count_drift(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "swm.json"
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(
+        ["compare", "--baseline", str(baseline), "--update"]
+        + COMPARE_SCALE + cache
+    ) == 0
+    capsys.readouterr()
+
+    doc = json.loads(baseline.read_text())
+    doc["benchmarks"]["swm"]["pl"]["total_messages"] += 7
+    baseline.write_text(json.dumps(doc))
+    code = main(
+        ["compare", "--baseline", str(baseline),
+         "--config", "n=16", "--config", "nsteps=2"] + cache
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "swm/pl: total_messages" in out
+
+
+def test_compare_missing_baseline_needs_update(tmp_path):
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["compare", "--baseline", str(tmp_path / "nope.json")]
+             + COMPARE_SCALE)
+
+
+def test_compare_rejects_corrupt_baseline(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{ nope")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["compare", "--baseline", str(bad)] + COMPARE_SCALE)
+
+
 def test_experiments_no_cache_leaves_no_cache_dir(tmp_path, capsys):
     cache_dir = tmp_path / "cache"
     assert main([
