@@ -1,0 +1,121 @@
+"""Compiled TIMING fast path: the full paper study must run >= 5x faster.
+
+Runs the whole-program study (4 benchmarks x 6 experiment keys at paper
+scale, 64 simulated processors) twice with the result cache disabled:
+once forced through the interpreted IR walk, once through the compiled
+schedule.  Asserts the ISSUE's acceptance bar (fast path at least 5x
+faster — the tentpole targets 10x and the measured runs exceed it), that
+every cell engaged the compiled path, and that the results are
+*bit-identical* — the fast path's whole contract.  The measured speedup
+is appended to ``BENCH_sim_fast_path.json`` at the repo root as a
+trajectory point.
+
+Compilation is identical work on both sides, so the in-process compile
+cache and the shared transfer-plan memo are warmed symmetrically (one
+throwaway study) before either pass is timed: the comparison is
+simulator-vs-simulator, not cold-vs-warm.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro import run_study
+from repro.engine import clear_compile_cache
+from repro.programs import BENCHMARKS
+from repro.runtime.transfers import PlanCache
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_sim_fast_path.json"
+
+STUDY = dict(
+    benchmarks=BENCHMARKS,
+    nprocs=64,
+    cache=False,
+    jobs=1,  # serial: measure the simulator, not the pool
+)
+
+
+def _timed_study(**kwargs):
+    t0 = time.perf_counter()
+    study = run_study(**{**STUDY, **kwargs})
+    return study, time.perf_counter() - t0
+
+
+def _result_surface(study):
+    return [
+        {
+            k: record["result"][k]
+            for k in (
+                "static_count",
+                "dynamic_count",
+                "execution_time",
+                "total_messages",
+                "total_bytes",
+                "warnings",
+            )
+        }
+        for record in study.telemetry
+    ]
+
+
+def test_fast_path_speedup(benchmark, record_table):
+    # warm the compile cache and plan memo once, for both passes alike
+    clear_compile_cache()
+    PlanCache.clear_global()
+    run_study(**STUDY)
+
+    interp, interp_s = _timed_study(fast=False)
+    fast, fast_s = _timed_study()
+
+    cells = len(fast.telemetry)
+    assert cells == len(BENCHMARKS) * 6
+
+    # exactness: the compiled path reproduces the interpreted walk
+    # bit-for-bit on every cell of the paper matrix
+    assert _result_surface(fast) == _result_surface(interp)
+
+    # engagement: every TIMING cell compiled, none silently interpreted
+    for record in fast.telemetry:
+        assert record["result"]["fastpath"] is not None
+    extrapolated = sum(
+        record["result"]["fastpath"]["extrapolated_trips"]
+        for record in fast.telemetry
+    )
+    assert extrapolated > 0, "steady-state extrapolation never engaged"
+
+    speedup = interp_s / fast_s
+    assert speedup >= 5.0, (
+        f"fast path below the 5x bar: interpreted {interp_s:.2f}s vs "
+        f"compiled {fast_s:.2f}s ({speedup:.1f}x)"
+    )
+
+    point = {
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "cells": cells,
+        "interpreted_s": round(interp_s, 3),
+        "fast_s": round(fast_s, 3),
+        "speedup": round(speedup, 1),
+        "extrapolated_trips": extrapolated,
+    }
+    trajectory = (
+        json.loads(TRAJECTORY.read_text()) if TRAJECTORY.exists() else []
+    )
+    trajectory.append(point)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+    record_table(
+        "sim_fast_path",
+        "Simulator fast path — full paper study, cache disabled\n"
+        f"interpreted walk:  {interp_s:.2f}s\n"
+        f"compiled schedule: {fast_s:.2f}s\n"
+        f"speedup:           {speedup:.1f}x  (bar: >= 5x)\n"
+        f"extrapolated trips: {extrapolated}",
+    )
+
+    benchmark.extra_info.update(point)
+    benchmark.pedantic(
+        lambda: _timed_study(benchmarks=("simple",))[0], rounds=3, iterations=1
+    )

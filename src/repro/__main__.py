@@ -128,6 +128,7 @@ def cmd_experiments(args) -> int:
         benchmarks=benches,
         nprocs=args.procs,
         config_overrides={b: overrides for b in benches} if overrides else None,
+        fast=False if args.no_fast_path else None,
         jobs=args.jobs,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
@@ -204,6 +205,7 @@ def cmd_trace(args) -> int:
                 nprocs=args.procs,
                 machine=args.machine,
                 config_overrides={args.bench: overrides} if overrides else None,
+                fast=False if args.no_fast_path else None,
                 jobs=1,
                 cache=False,
             )
@@ -248,9 +250,18 @@ def cmd_trace(args) -> int:
 def cmd_compare(args) -> int:
     baseline_path = Path(args.baseline)
     try:
-        existing = (
-            obs.load_baseline(baseline_path) if baseline_path.exists() else None
-        )
+        try:
+            existing = (
+                obs.load_baseline(baseline_path)
+                if baseline_path.exists()
+                else None
+            )
+        except BaselineError:
+            # --update exists to replace stale documents (old schema,
+            # truncated file); without it the load error is the answer
+            if not args.update:
+                raise
+            existing = None
         if existing is None and not args.update:
             raise SystemExit(
                 f"baseline {baseline_path} does not exist "
@@ -343,6 +354,10 @@ def main(argv=None) -> int:
                    "or $REPRO_CACHE_DIR)")
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help="write per-job telemetry records as JSON")
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="force the interpreted simulator walk "
+                        "(results are bit-identical; for debugging "
+                        "and speedup measurement)")
     p.add_argument("--explain", action="store_true",
                    help="append per-pass attribution tables (which pass "
                    "accounts for how much of each reduction)")
@@ -368,6 +383,9 @@ def main(argv=None) -> int:
     p.add_argument("--machine", default="t3d")
     p.add_argument("--procs", type=int, default=64)
     p.add_argument("--config", action="append", metavar="NAME=VALUE")
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="force the interpreted walk for the study pass "
+                        "(per-rank trace replays always interpret)")
     p.add_argument("--ranks", type=_positive_int, default=4, metavar="N",
                    help="how many per-rank timelines to bridge (default 4)")
     p.set_defaults(func=cmd_trace)

@@ -25,7 +25,9 @@ from repro.obs import core as obs
 #: ``load_telemetry``) is versioned by this same constant, so a record
 #: shape change can never silently outrun the document that carries it.
 #: 2: records carry the optimizer's per-pass ``pipeline`` report.
-RECORD_SCHEMA = 2
+#: 3: TIMING times shift by ulps (epoch-rebased clocks) and results
+#: carry the ``fastpath`` counter block.
+RECORD_SCHEMA = 3
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 

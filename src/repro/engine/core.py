@@ -115,10 +115,22 @@ class ExperimentEngine:
                 todo = [job for _, job, _ in misses]
                 pooled = bool(self.jobs and self.jobs > 1 and len(todo) > 1)
                 if pooled:
+                    # Larger chunks amortize pickling/IPC; the /4 keeps
+                    # enough chunks in flight to balance uneven job costs.
+                    chunksize = max(1, len(todo) // (self.jobs * 4))
                     with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                        records = list(pool.map(execute_job, todo))
+                        records = _drain(pool.map(
+                            execute_job, todo, chunksize=chunksize
+                        ), todo)
                 else:
-                    records = [execute_job(job) for job in todo]
+                    records = []
+                    for job in todo:
+                        try:
+                            records.append(execute_job(job))
+                        except ExperimentError:
+                            raise
+                        except Exception as exc:
+                            raise _job_failure(job, exc) from exc
                 for (i, job, fp), record in zip(misses, records):
                     self.cache.put(fp, record)
                     outcomes[i] = JobOutcome(job=job, record=record, cached=False)
@@ -130,6 +142,36 @@ class ExperimentEngine:
                         _reemit_worker_warnings(record)
 
             return [o for o in outcomes if o is not None]
+
+
+def _job_failure(job: Job, exc: BaseException) -> ExperimentError:
+    """Name the job that died — a bare worker traceback loses which cell
+    of a 24-job matrix failed."""
+    return ExperimentError(
+        f"job failed for ({job.benchmark}, {job.experiment}, "
+        f"{job.effective_library()}): {exc}"
+    )
+
+
+def _drain(results: Iterable[dict], todo: Sequence[Job]) -> List[dict]:
+    """Collect pool results, re-raising the first failure with a job's
+    identity.  :func:`~repro.engine.worker.execute_job` already names the
+    exact job in its :class:`ExperimentError`; this catch covers failures
+    the worker could not wrap (a killed process, an unpicklable record),
+    blaming the first undelivered job (``pool.map`` yields in submission
+    order, so that is the count of records collected so far)."""
+    records: List[dict] = []
+    it = iter(results)
+    while True:
+        try:
+            record = next(it)
+        except StopIteration:
+            return records
+        except ExperimentError:
+            raise
+        except Exception as exc:
+            raise _job_failure(todo[len(records)], exc) from exc
+        records.append(record)
 
 
 def _reemit_worker_warnings(record: dict) -> None:
@@ -153,6 +195,7 @@ def build_matrix(
     machine: Union[MachineSpec, str, None] = None,
     config_overrides: Optional[Mapping[str, ConfigOverride]] = None,
     mode: Union[ExecutionMode, str] = ExecutionMode.TIMING,
+    fast: Optional[bool] = None,
 ) -> List[Job]:
     """The study's job matrix: every benchmark under every key, in the
     paper's presentation order."""
@@ -166,6 +209,7 @@ def build_matrix(
             machine=spec,
             config=_coerce_config((config_overrides or {}).get(bench)),
             mode=mode_str,
+            fast=fast,
         )
         for bench in benchmarks
         for key in keys
@@ -275,6 +319,7 @@ def run_study(
     library: Optional[str] = None,
     config_overrides: Optional[Mapping[str, ConfigOverride]] = None,
     mode: Union[ExecutionMode, str] = ExecutionMode.TIMING,
+    fast: Optional[bool] = None,
     jobs: Optional[int] = None,
     cache: bool = True,
     cache_dir: Union[str, Path, None] = None,
@@ -300,6 +345,10 @@ def run_study(
         :func:`repro.frontend.parse_config_assignments`).
     mode:
         ``ExecutionMode`` or its value string; TIMING by default.
+    fast:
+        Compiled fast-path selection, forwarded to
+        :func:`repro.runtime.simulate` (None = auto, ``False`` forces
+        the interpreted walk; results are bit-identical either way).
     jobs, cache, cache_dir:
         Engine knobs — see :class:`ExperimentEngine`.
     telemetry:
@@ -318,7 +367,12 @@ def run_study(
     spec = MachineSpec.coerce(machine, nprocs=nprocs or 64, library=library)
 
     matrix = build_matrix(
-        benchmarks, keys, machine=spec, config_overrides=config_overrides, mode=mode
+        benchmarks,
+        keys,
+        machine=spec,
+        config_overrides=config_overrides,
+        mode=mode,
+        fast=fast,
     )
     engine = ExperimentEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
     outcomes = engine.run(matrix)

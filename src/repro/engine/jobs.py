@@ -34,7 +34,9 @@ from repro.programs import benchmark_source, default_config
 #: Bump to invalidate every existing cache entry (schema or semantics
 #: changes in the engine itself).  2: job fingerprints cover the resolved
 #: pass-pipeline signature and records carry its per-pass report.
-ENGINE_VERSION = 2
+#: 3: TIMING clocks use the epoch + rebased-offset representation (times
+#: shift by ulps) and records carry the fast-path counters.
+ENGINE_VERSION = 3
 
 ConfigValue = Union[int, float]
 
@@ -112,6 +114,10 @@ class Job:
     machine: MachineSpec = MachineSpec()
     config: Tuple[Tuple[str, ConfigValue], ...] = ()
     mode: str = "timing"
+    #: Fast-path selection forwarded to ``simulate`` (None = auto).  Not
+    #: part of the fingerprint: the compiled path is bit-identical to the
+    #: interpreted walk, so both produce (and may share) one cache entry.
+    fast: Optional[bool] = None
 
     @classmethod
     def make(
@@ -121,6 +127,7 @@ class Job:
         machine: Union[MachineSpec, str, None] = None,
         config: Optional[Mapping[str, ConfigValue]] = None,
         mode: str = "timing",
+        fast: Optional[bool] = None,
     ) -> "Job":
         return cls(
             benchmark=benchmark,
@@ -128,6 +135,7 @@ class Job:
             machine=MachineSpec.coerce(machine),
             config=tuple(sorted((config or {}).items())),
             mode=mode,
+            fast=fast,
         )
 
     def merged_config(self) -> Dict[str, ConfigValue]:

@@ -35,6 +35,7 @@ import time
 from typing import Dict, Tuple
 
 from repro.comm import OptimizationConfig, optimize_with_report
+from repro.errors import ExperimentError
 from repro.experiments_registry import experiment_spec
 from repro.ir.nodes import IRProgram
 from repro.obs import core as obs
@@ -115,7 +116,23 @@ def execute_job(job: Job) -> dict:
     :class:`~repro.experiments_registry.ExperimentResult` from — floats
     survive the JSON round trip bit-exactly, so cached and fresh runs
     render byte-identical tables.
+
+    Failures are re-raised as :class:`~repro.errors.ExperimentError`
+    naming the job, so a pooled study reports which matrix cell died
+    instead of a bare worker traceback.
     """
+    try:
+        return _execute_job(job)
+    except ExperimentError:
+        raise
+    except Exception as exc:
+        raise ExperimentError(
+            f"job failed for ({job.benchmark}, {job.experiment}, "
+            f"{job.effective_library()}): {exc}"
+        ) from exc
+
+
+def _execute_job(job: Job) -> dict:
     started = time.time()
     t_total = time.perf_counter()
     with obs.span(
@@ -135,7 +152,7 @@ def execute_job(job: Job) -> dict:
         )
 
         t0 = time.perf_counter()
-        result = simulate(program, machine, ExecutionMode(job.mode))
+        result = simulate(program, machine, ExecutionMode(job.mode), fast=job.fast)
         simulate_s = time.perf_counter() - t0
 
     return {
@@ -155,6 +172,9 @@ def execute_job(job: Job) -> dict:
             "total_messages": int(result.instrument.total_messages),
             "total_bytes": int(result.instrument.total_bytes),
             "warnings": list(result.warnings),
+            "fastpath": (
+                result.fastpath.as_dict() if result.fastpath is not None else None
+            ),
         },
         "pipeline": pipeline,
         "timings": {

@@ -43,11 +43,23 @@ __all__ = [
 ]
 
 #: Bump when the baseline document shape changes; loaders reject others.
-BASELINE_SCHEMA = 1
+#: 2: cells pin the simulator fast-path counters
+#: (``sim.fastpath.compiled`` / ``extrapolated_trips`` / ``fallbacks``),
+#: so the gate catches the compiled path silently disengaging, not just
+#: drifting numbers.
+BASELINE_SCHEMA = 2
 BASELINE_KIND = "repro-baseline"
 
 #: Cell fields compared exactly (integer model outputs).
-COUNT_FIELDS = ("static_count", "dynamic_count", "total_messages", "total_bytes")
+COUNT_FIELDS = (
+    "static_count",
+    "dynamic_count",
+    "total_messages",
+    "total_bytes",
+    "sim.fastpath.compiled",
+    "sim.fastpath.extrapolated_trips",
+    "sim.fastpath.fallbacks",
+)
 #: Cell fields compared within a relative tolerance.
 TIME_FIELDS = ("execution_time",)
 
@@ -66,12 +78,23 @@ def snapshot_study(study, note: str = "") -> dict:
     cells: Dict[str, Dict[str, dict]] = {}
     for record in records:
         result = record["result"]
+        fastpath = result.get("fastpath")
         cells.setdefault(record["benchmark"], {})[record["experiment"]] = {
             "static_count": int(result["static_count"]),
             "dynamic_count": int(result["dynamic_count"]),
             "total_messages": int(result["total_messages"]),
             "total_bytes": int(result["total_bytes"]),
             "execution_time": float(result["execution_time"]),
+            # fast-path engagement is part of the pinned surface: a cell
+            # that stops compiling (or starts falling back) is a
+            # regression even when its numbers still match
+            "sim.fastpath.compiled": int(fastpath is not None),
+            "sim.fastpath.extrapolated_trips": int(
+                fastpath["extrapolated_trips"] if fastpath else 0
+            ),
+            "sim.fastpath.fallbacks": int(
+                fastpath["fallbacks"] if fastpath else 0
+            ),
         }
     first = records[0]
     return {

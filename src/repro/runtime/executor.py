@@ -19,6 +19,14 @@ in one of two modes:
 
 Both modes execute the same statement walk; they differ only in whether
 array payloads exist.
+
+TIMING mode additionally has a **compiled fast path**
+(:mod:`repro.runtime.schedule`): the IR body is lowered once into a flat
+schedule of primitive timing ops with all invariant data precomputed,
+and counted loops extrapolate their steady state in closed form.  It is
+bit-exact versus the interpreted walk and is selected automatically for
+TIMING runs without a ``trace_rank`` (see :func:`simulate`'s ``fast``
+parameter for the escape hatch).
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.runtime.grid import ProcessorGrid
 from repro.runtime.instrument import Instrumentation
 from repro.runtime.interp import ParallelEvaluator, ScalarEvaluator
 from repro.runtime.layout import ProblemLayout
+from repro.runtime.schedule import FastPathStats, compile_schedule
 from repro.runtime.timing import TimingEngine
 from repro.runtime.transfers import PlanCache, TransferPlan
 
@@ -72,6 +81,8 @@ class RunResult:
     #: event timeline of the traced rank (None unless trace_rank was set)
     trace: Optional[list] = field(default=None, repr=False)
     trace_rank: Optional[int] = None
+    #: fast-path engagement stats (None when the interpreted walk ran)
+    fastpath: Optional[FastPathStats] = None
 
     def array(self, name: str) -> np.ndarray:
         """Gathered global contents of an array (NUMERIC mode only)."""
@@ -94,11 +105,14 @@ class _Simulation:
         mode: ExecutionMode,
         repeat_cap: Optional[int],
         trace_rank: Optional[int] = None,
+        fast: bool = False,
     ) -> None:
         self.program = program
         self.machine = machine
         self.mode = mode
         self.repeat_cap = repeat_cap
+        self.fast = fast
+        self._alias_cache: Dict[int, bool] = {}
         rows, cols = machine.grid_shape
         self.grid = ProcessorGrid(rows, cols)
         domains = {name: dom for name, (dom, _) in program.arrays.items()}
@@ -162,7 +176,11 @@ class _Simulation:
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
-        self._exec_body(self.program.body)
+        fast_stats: Optional[FastPathStats] = None
+        if self.fast:
+            fast_stats = compile_schedule(self).execute()
+        else:
+            self._exec_body(self.program.body)
         self.timing.assert_quiescent()
         scalars_out = {
             k: v
@@ -176,7 +194,7 @@ class _Simulation:
             nprocs=self.machine.nprocs,
             mode=self.mode,
             time=self.timing.elapsed,
-            clocks=self.timing.clock.copy(),
+            clocks=self.timing.absolute_clocks(),
             dynamic_comm_count=self.instrument.dynamic_comm_count,
             dynamic_comms=self.instrument.dynamic_comms.copy(),
             static_comm_count=static_comm_count(self.program),
@@ -185,6 +203,7 @@ class _Simulation:
             arrays=self.arrays,
             trace=self.timing.trace if self.timing.trace_rank is not None else None,
             trace_rank=self.timing.trace_rank,
+            fastpath=fast_stats,
         )
 
     # ------------------------------------------------------------------
@@ -212,12 +231,14 @@ class _Simulation:
         for value in range(lo, stop, step):
             self.scalars[stmt.var] = value
             self._exec_body(stmt.body)
+            self.timing.loop_rebase()
 
     def _exec_repeat(self, stmt: ir.RepeatLoop) -> None:
         cap = self.repeat_cap if self.repeat_cap is not None else stmt.max_trips
         trips = 0
         while True:
             self._exec_body(stmt.body)
+            self.timing.loop_rebase()
             trips += 1
             if bool(self.scalar_eval.eval(stmt.cond)):
                 break
@@ -251,6 +272,13 @@ class _Simulation:
 
     def _store_array_stmt(self, stmt: ir.ArrayAssign) -> None:
         target = self.arrays[stmt.target]
+        # aliasing is only possible when the target appears in its own
+        # RHS; hoisted per statement so the common non-aliasing case
+        # skips the per-rank shares_memory probe entirely
+        may_alias = self._alias_cache.get(id(stmt))
+        if may_alias is None:
+            may_alias = stmt.target in ir.arrays_read(stmt.expr)
+            self._alias_cache[id(stmt)] = may_alias
         for proc in self.grid.ranks():
             owned = self.layout.owned(stmt.region.rank, proc)
             box = stmt.region.intersect(owned)
@@ -259,7 +287,9 @@ class _Simulation:
             value = self.parallel.eval(stmt.expr, proc, box)
             dest = target.block(proc).view(box)
             if isinstance(value, np.ndarray):
-                if np.shares_memory(value, target.block(proc).data):
+                if may_alias and np.shares_memory(
+                    value, target.block(proc).data
+                ):
                     value = value.copy()
                 dest[...] = value
             else:
@@ -314,12 +344,32 @@ class _Simulation:
                 ] = payload
 
 
+def _resolve_fast(
+    fast: Optional[bool], mode: ExecutionMode, trace_rank: Optional[int]
+) -> bool:
+    if fast is None:
+        return mode is ExecutionMode.TIMING and trace_rank is None
+    if fast:
+        if mode is not ExecutionMode.TIMING:
+            raise RuntimeFault(
+                "fast=True requires TIMING mode; NUMERIC runs the "
+                "interpreted walk (pass fast=False or fast=None)"
+            )
+        if trace_rank is not None:
+            raise RuntimeFault(
+                "fast=True cannot record a per-rank timeline; pass "
+                "fast=False together with trace_rank"
+            )
+    return bool(fast)
+
+
 def simulate(
     program: ir.IRProgram,
     machine: Machine,
     mode: ExecutionMode = ExecutionMode.NUMERIC,
     repeat_cap: Optional[int] = None,
     trace_rank: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> RunResult:
     """Run an optimized program on a simulated machine.
 
@@ -341,7 +391,15 @@ def simulate(
         one processor; retrieve it as ``result.trace`` and render it with
         :mod:`repro.analysis.timeline` or bridge it into a Perfetto
         trace with :func:`repro.obs.bridge_rank_trace`.
+    fast:
+        Select the compiled TIMING fast path
+        (:mod:`repro.runtime.schedule`).  ``None`` (default) chooses it
+        automatically for TIMING runs without a ``trace_rank``; ``False``
+        forces the interpreted walk (the CLI's ``--no-fast-path``);
+        ``True`` demands it and raises if the mode can't support it.
+        Results are bit-identical either way.
     """
+    use_fast = _resolve_fast(fast, mode, trace_rank)
     with obs.span(
         "simulate",
         program=program.name,
@@ -350,7 +408,9 @@ def simulate(
         nprocs=machine.nprocs,
         mode=mode.value,
     ):
-        result = _Simulation(program, machine, mode, repeat_cap, trace_rank).run()
+        result = _Simulation(
+            program, machine, mode, repeat_cap, trace_rank, fast=use_fast
+        ).run()
     if obs.enabled():
         _record_run_metrics(result)
     return result
@@ -370,3 +430,7 @@ def _record_run_metrics(result: RunResult) -> None:
     obs.add("sim.bytes", inst.total_bytes)
     obs.add("sim.reductions", inst.reductions)
     obs.observe("sim.model_time_s", result.time)
+    if result.fastpath is not None:
+        obs.add("sim.fastpath.compiled", 1)
+        obs.add("sim.fastpath.extrapolated_trips", result.fastpath.extrapolated_trips)
+        obs.add("sim.fastpath.fallbacks", result.fastpath.fallbacks)

@@ -24,6 +24,22 @@ interesting dynamics live entirely in the communication calls:
     that hurts inherently sequential phases in the paper.
 
 Reductions synchronize all ranks (combine + broadcast tree).
+
+Clock representation
+--------------------
+The engine keeps per-rank clocks as **offsets from a shared epoch**.  At
+the end of every loop iteration the executor calls :meth:`loop_rebase`,
+which subtracts the minimum offset from the clock vector (and every
+stored arrival/flag vector) and folds it into the epoch.  The epoch is
+stored run-length-encoded (``prefix + c * n`` for the current run of
+identical advances), so that stepping a loop N times and replaying one
+recorded advance pattern N times fold the epoch through the *identical*
+float operations.  This is what makes the compiled fast path's
+steady-state extrapolation (:mod:`repro.runtime.schedule`) bit-exact:
+once an iteration's rebased state repeats bitwise, every later iteration
+advances the epoch by the same run-length-coalesced amounts, and
+absolute clocks are always materialized as ``epoch + offset`` in both
+paths.
 """
 
 from __future__ import annotations
@@ -65,11 +81,19 @@ class TimingEngine:
     #: rank whose timeline is recorded (None: tracing off)
     trace_rank: Optional[int] = None
     trace: List["TraceEvent"] = field(default_factory=list)
+    #: per-rank clock *offsets* from the epoch (absolute = epoch + offset)
     clock: np.ndarray = field(init=False)
     #: desc id -> per-rank arrival times of the in-flight execution
     _inflight: Dict[int, np.ndarray] = field(init=False, default_factory=dict)
     #: desc id -> per-rank destination-ready (DR flag) times
     _dr_times: Dict[int, np.ndarray] = field(init=False, default_factory=dict)
+    #: run-length-encoded epoch: value = prefix + epoch_c * epoch_n
+    _epoch_prefix: float = field(init=False, default=0.0)
+    _epoch_c: float = field(init=False, default=0.0)
+    _epoch_n: int = field(init=False, default=0)
+    _epoch_val: float = field(init=False, default=0.0)
+    #: advance log for the fast path's steady-state monitor (None: off)
+    _epoch_log: Optional[List[float]] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.clock = np.zeros(self.machine.nprocs, dtype=np.float64)
@@ -79,52 +103,115 @@ class TimingEngine:
             self.trace.append(TraceEvent(start, end, kind, label))
 
     # ------------------------------------------------------------------
+    # epoch
+    # ------------------------------------------------------------------
+    def advance_epoch(self, c: float, n: int = 1) -> None:
+        """Fold ``n`` loop-rebase advances of ``c`` seconds into the
+        epoch.  Equal consecutive advances coalesce into one run, so the
+        materialized value is ``fl(prefix + c * count)`` regardless of
+        whether the run was built one advance at a time (stepping) or in
+        bulk (extrapolation replay)."""
+        if c == self._epoch_c and self._epoch_n > 0:
+            self._epoch_n += n
+        else:
+            self._epoch_prefix = self._epoch_prefix + self._epoch_c * self._epoch_n
+            self._epoch_c = c
+            self._epoch_n = n
+        self._epoch_val = self._epoch_prefix + self._epoch_c * self._epoch_n
+        if self._epoch_log is not None:
+            self._epoch_log.extend([c] * n)
+
+    def loop_rebase(self) -> None:
+        """Rebase offsets at a loop-iteration boundary: subtract the
+        minimum offset from every per-rank time and advance the epoch by
+        it.  A no-op when some rank is still at the epoch."""
+        c = self.clock.min()
+        if c <= 0.0:
+            return
+        c = float(c)
+        self.clock -= c
+        for arr in self._inflight.values():
+            arr -= c
+        for arr in self._dr_times.values():
+            arr -= c
+        self.advance_epoch(c)
+
+    @property
+    def epoch(self) -> float:
+        return self._epoch_val
+
+    def absolute_clocks(self) -> np.ndarray:
+        """Materialized per-rank absolute times (``epoch + offset``)."""
+        return self._epoch_val + self.clock
+
+    # ------------------------------------------------------------------
     # compute
     # ------------------------------------------------------------------
-    def charge_array_stmt(
-        self, flops: int, elements: np.ndarray, label: str = ""
-    ) -> None:
-        """Whole-array statement: each rank pays for its local elements
-        (idle ranks pay nothing)."""
+    def array_cost(self, flops: int, elements: np.ndarray) -> np.ndarray:
+        """Per-rank cost vector of a whole-array statement (idle ranks
+        pay nothing).  Pure function of invariants — the fast path
+        precomputes it once per statement."""
         comp = self.machine.compute
-        cost = np.where(
+        return np.where(
             elements > 0,
             comp.loop_overhead + flops * elements * comp.flop_time,
             0.0,
         )
+
+    def charge_array_stmt(
+        self, flops: int, elements: np.ndarray, label: str = ""
+    ) -> None:
+        self.charge_array_vec(self.array_cost(flops, elements), label)
+
+    def charge_array_vec(self, cost: np.ndarray, label: str = "") -> None:
         if self.trace_rank is not None:
-            t0 = float(self.clock[self.trace_rank])
+            t0 = self._epoch_val + float(self.clock[self.trace_rank])
             self._record(
                 "compute", t0, t0 + float(cost[self.trace_rank]), label
             )
         self.clock += cost
         self.instrument.compute_time += cost
 
+    def scalar_cost(self, flops: int) -> float:
+        return max(flops, 1) * self.machine.compute.flop_time
+
     def charge_scalar_stmt(self, flops: int) -> None:
         """Replicated scalar statement: every rank executes it."""
-        cost = max(flops, 1) * self.machine.compute.flop_time
+        self.charge_scalar_cost(self.scalar_cost(flops))
+
+    def charge_scalar_cost(self, cost: float) -> None:
         self.clock += cost
         self.instrument.compute_time += cost
 
-    def charge_reduction(self, flops: int, elements: np.ndarray) -> None:
-        """Local partial combine, then a synchronizing tree combine +
-        broadcast: all ranks leave at the same time."""
+    def reduction_cost(self, flops: int, elements: np.ndarray) -> np.ndarray:
+        """Per-rank local partial-combine cost of a reduction."""
         comp = self.machine.compute
-        partial = np.where(
+        return np.where(
             elements > 0,
             comp.loop_overhead + max(flops, 1) * elements * comp.flop_time,
             0.0,
         )
+
+    def charge_reduction(self, flops: int, elements: np.ndarray) -> None:
+        self.charge_reduction_vec(
+            self.reduction_cost(flops, elements),
+            self.machine.reduction.time(self.machine.nprocs),
+        )
+
+    def charge_reduction_vec(self, partial: np.ndarray, tree_time: float) -> None:
+        """Local partial combine, then a synchronizing tree combine +
+        broadcast: all ranks leave at the same time."""
         self.instrument.compute_time += partial
         t = float((self.clock + partial).max())
-        t += self.machine.reduction.time(self.machine.nprocs)
+        t += tree_time
         waited = t - (self.clock + partial)
         self.instrument.wait_time += waited
         if self.trace_rank is not None:
             r = self.trace_rank
-            t0 = float(self.clock[r])
+            e = self._epoch_val
+            t0 = e + float(self.clock[r])
             self._record("compute", t0, t0 + float(partial[r]), "partial")
-            self._record("reduce", t0 + float(partial[r]), t, "tree+bcast")
+            self._record("reduce", t0 + float(partial[r]), e + t, "tree+bcast")
         self.clock[:] = t
         self.instrument.record_reduction()
 
@@ -171,8 +258,9 @@ class TimingEngine:
             )
             self.instrument.wait_time[waiting] += flag_wait
             if self.trace_rank is not None and waiting[self.trace_rank]:
-                t0 = float(self.clock[self.trace_rank])
-                t1 = max(t0, float(flag_ready[self.trace_rank]))
+                e = self._epoch_val
+                t0 = e + float(self.clock[self.trace_rank])
+                t1 = max(t0, e + float(flag_ready[self.trace_rank]))
                 self._record("wait", t0, t1, f"DR flag {plan.desc.describe()}")
             self.clock[waiting] = np.maximum(
                 self.clock[waiting], flag_ready[waiting]
@@ -182,7 +270,7 @@ class TimingEngine:
         send_end = self.clock[plan.senders] + vecs.cum_sw
         np.maximum.at(arrivals, plan.receivers, send_end + vecs.wire)
         if self.trace_rank is not None:
-            t0 = float(self.clock[self.trace_rank])
+            t0 = self._epoch_val + float(self.clock[self.trace_rank])
             t1 = t0 + float(vecs.total_sw_by_rank[self.trace_rank])
             self._record("send", t0, t1, plan.desc.describe())
         self.clock += vecs.total_sw_by_rank
@@ -201,7 +289,7 @@ class TimingEngine:
                 f"completion of {plan.desc.describe()} before initiation — "
                 "optimizer produced an illegal schedule"
             )
-        receivers = np.unique(plan.receivers)
+        receivers = plan.receivers_unique
         if prim.sync is SyncKind.RENDEZVOUS:
             # one-way completion: the destination polls its local
             # data-complete flag.  The prototype's heavyweight
@@ -218,8 +306,9 @@ class TimingEngine:
             self.instrument.comm_sw_time[receivers] += prim.fixed + surcharge
             if self.trace_rank is not None and self.trace_rank in receivers:
                 i = int(np.searchsorted(receivers, self.trace_rank))
-                t0 = float(self.clock[self.trace_rank])
-                t_arr = max(t0, float(arrivals[self.trace_rank]))
+                e = self._epoch_val
+                t0 = e + float(self.clock[self.trace_rank])
+                t_arr = max(t0, e + float(arrivals[self.trace_rank]))
                 self._record("wait", t0, t_arr, f"DN {plan.desc.describe()}")
                 self._record(
                     "synch",
@@ -240,8 +329,9 @@ class TimingEngine:
             self.instrument.wait_time[receivers] += stall
             self.instrument.comm_sw_time[receivers] += sw[receivers]
             if self.trace_rank is not None and self.trace_rank in receivers:
-                t0 = float(self.clock[self.trace_rank])
-                t_arr = max(t0, float(arrivals[self.trace_rank]))
+                e = self._epoch_val
+                t0 = e + float(self.clock[self.trace_rank])
+                t_arr = max(t0, e + float(arrivals[self.trace_rank]))
                 self._record("wait", t0, t_arr, f"DN {plan.desc.describe()}")
                 self._record(
                     "recv",
@@ -255,13 +345,13 @@ class TimingEngine:
 
     # -- DR -------------------------------------------------------------
     def _do_pre(self, plan: TransferPlan, prim, prim_name: str) -> None:
-        receivers = np.unique(plan.receivers)
+        receivers = plan.receivers_unique
         if prim.sync is SyncKind.RENDEZVOUS:
             # the destination readies its fluff buffer and posts a flag to
             # each source; the put may not start before the flag lands
             # (enforced at SR)
             if self.trace_rank is not None and self.trace_rank in receivers:
-                t0 = float(self.clock[self.trace_rank])
+                t0 = self._epoch_val + float(self.clock[self.trace_rank])
                 self._record(
                     "synch", t0, t0 + prim.fixed, f"DR {plan.desc.describe()}"
                 )
@@ -271,10 +361,9 @@ class TimingEngine:
         else:
             # posting receives (irecv/hprobe): fixed cost per incoming
             # message at each receiver
-            per_recv = np.zeros(self.machine.nprocs)
-            np.add.at(per_recv, plan.receivers, prim.fixed)
+            per_recv = plan.fixed_by_rank("recv", prim.fixed)
             if self.trace_rank is not None:
-                t0 = float(self.clock[self.trace_rank])
+                t0 = self._epoch_val + float(self.clock[self.trace_rank])
                 self._record(
                     "recv",
                     t0,
@@ -287,11 +376,10 @@ class TimingEngine:
 
     # -- SV -------------------------------------------------------------
     def _do_volatile(self, plan: TransferPlan, prim, prim_name: str) -> None:
-        senders = np.unique(plan.senders)
-        per_send = np.zeros(self.machine.nprocs)
-        np.add.at(per_send, plan.senders, prim.fixed)
+        senders = plan.senders_unique
+        per_send = plan.fixed_by_rank("send", prim.fixed)
         if self.trace_rank is not None:
-            t0 = float(self.clock[self.trace_rank])
+            t0 = self._epoch_val + float(self.clock[self.trace_rank])
             self._record(
                 "send",
                 t0,
@@ -306,7 +394,7 @@ class TimingEngine:
     @property
     def elapsed(self) -> float:
         """The run's execution time: the last rank to finish."""
-        return float(self.clock.max())
+        return self._epoch_val + float(self.clock.max())
 
     def assert_quiescent(self) -> None:
         if self._inflight:

@@ -22,6 +22,7 @@ message list to snapshot and deliver real strip data.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -103,7 +104,11 @@ class TransferPlan:
         participants[self.receivers] = True
         self.participants = participants
         self.participant_count = int(participants.sum())
+        self.receivers_unique = np.unique(self.receivers)
+        self.senders_unique = np.unique(self.senders)
         self._prim_cache: Dict[Tuple[str, float, float], _PrimCache] = {}
+        self._recv_sw_cache: Dict[str, np.ndarray] = {}
+        self._fixed_cache: Dict[Tuple[str, float], np.ndarray] = {}
 
     @property
     def message_count(self) -> int:
@@ -138,10 +143,27 @@ class TransferPlan:
         return cached
 
     def recv_sw_by_rank(self, prim) -> np.ndarray:
-        """Per-rank total receive software cost under ``prim``."""
-        out = np.zeros(self.nprocs, dtype=np.float64)
-        for i, r in enumerate(self.receivers):
-            out[r] += prim.sw(int(self.nbytes[i]))
+        """Per-rank total receive software cost under ``prim``
+        (invariant per primitive — cached, treat as read-only)."""
+        out = self._recv_sw_cache.get(prim.name)
+        if out is None:
+            out = np.zeros(self.nprocs, dtype=np.float64)
+            for i, r in enumerate(self.receivers):
+                out[r] += prim.sw(int(self.nbytes[i]))
+            self._recv_sw_cache[prim.name] = out
+        return out
+
+    def fixed_by_rank(self, role: str, fixed: float) -> np.ndarray:
+        """Per-rank total of a fixed per-message cost over this plan's
+        ``"recv"`` or ``"send"`` endpoints (cached, treat as read-only)."""
+        key = (role, fixed)
+        out = self._fixed_cache.get(key)
+        if out is None:
+            out = np.zeros(self.nprocs, dtype=np.float64)
+            np.add.at(
+                out, self.receivers if role == "recv" else self.senders, fixed
+            )
+            self._fixed_cache[key] = out
         return out
 
 
@@ -283,16 +305,66 @@ def _mesh_step(
 
 
 class PlanCache:
-    """Per-simulation cache of transfer plans keyed by descriptor id."""
+    """Per-simulation cache of transfer plans keyed by descriptor id.
+
+    Backed by a process-wide memo keyed by *content* (grid shape, array
+    domains, descriptor geometry), so re-simulating the same program on
+    the same layout — e.g. every cell of a study sweep, or a fast-path
+    run next to its interpreted check — reuses the built plans instead of
+    re-deriving the message lists.  A ``TransferPlan`` is pure metadata
+    and safe to share within a process; the memo is bounded LRU.
+    """
+
+    # sized above one full paper study (~650 distinct plans across the
+    # 4 x 6 matrix at 64 ranks) so sweep cells reuse instead of thrash
+    _GLOBAL_MAX = 1024
+    _global: "OrderedDict[Tuple, TransferPlan]" = OrderedDict()
 
     def __init__(self, layout: ProblemLayout, nprocs: int) -> None:
         self.layout = layout
         self.nprocs = nprocs
         self._plans: Dict[int, TransferPlan] = {}
+        self._layout_key = (
+            layout.grid.rows,
+            layout.grid.cols,
+            tuple(
+                sorted(
+                    (name, dom.lows, dom.highs)
+                    for name, dom in layout.array_domains.items()
+                )
+            ),
+        )
+
+    def _desc_key(self, desc: CommDescriptor) -> Tuple:
+        return (
+            self._layout_key,
+            self.nprocs,
+            desc.id,
+            desc.direction.offsets,
+            desc.wrap,
+            tuple(
+                (e.array, e.use_region.lows, e.use_region.highs)
+                for e in desc.entries
+            ),
+        )
 
     def plan(self, desc: CommDescriptor) -> TransferPlan:
         plan = self._plans.get(desc.id)
         if plan is None:
-            plan = TransferPlan(desc, self.layout, self.nprocs)
+            key = self._desc_key(desc)
+            memo = type(self)._global
+            plan = memo.get(key)
+            if plan is None:
+                plan = TransferPlan(desc, self.layout, self.nprocs)
+                memo[key] = plan
+                if len(memo) > self._GLOBAL_MAX:
+                    memo.popitem(last=False)
+            else:
+                memo.move_to_end(key)
             self._plans[desc.id] = plan
         return plan
+
+    @classmethod
+    def clear_global(cls) -> None:
+        """Drop the process-wide plan memo (tests)."""
+        cls._global.clear()

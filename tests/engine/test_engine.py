@@ -301,3 +301,55 @@ def test_config_overrides_accept_assignment_strings(tmp_path):
     from_strings = _study(tmp_path / "a", config_overrides={"swm": pairs})
     from_dict = _study(tmp_path / "b", config_overrides={"swm": SWM_SMALL})
     assert dict(from_strings.results) == dict(from_dict.results)
+
+
+# ---------------------------------------------------------------------------
+# fast path wiring
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_ignores_fast_selection():
+    # the compiled path is bit-identical to the interpreted walk, so
+    # both must share one cache entry
+    fps = {
+        Job.make("swm", "cc", fast=fast).fingerprint()
+        for fast in (None, True, False)
+    }
+    assert len(fps) == 1
+
+
+def test_records_carry_fastpath_counters(tmp_path):
+    study = _study(tmp_path, cache=False)
+    for record in study.telemetry:
+        fastpath = record["result"]["fastpath"]
+        assert fastpath is not None
+        assert set(fastpath) == {
+            "extrapolated_trips", "extrapolated_loops", "fallbacks"
+        }
+
+
+def test_fast_false_runs_interpreted_with_identical_results(tmp_path):
+    fast = _study(tmp_path / "a", cache=False)
+    interp = _study(tmp_path / "b", cache=False, fast=False)
+    for f_rec, i_rec in zip(fast.telemetry, interp.telemetry):
+        assert i_rec["result"]["fastpath"] is None
+        for field in ("execution_time", "dynamic_count", "static_count",
+                      "total_messages", "total_bytes"):
+            assert f_rec["result"][field] == i_rec["result"][field]
+
+
+def test_worker_failure_names_the_job(tmp_path):
+    jobs = [Job.make("swm", "baseline", config={"no_such_knob": 1})]
+    engine = ExperimentEngine(cache=False)
+    with pytest.raises(ExperimentError, match=r"\(swm, baseline, pvm\)"):
+        engine.run(jobs)
+
+
+def test_pool_failure_names_the_job(tmp_path):
+    good = Job.make("swm", "baseline", machine=MachineSpec(nprocs=16),
+                    config=SWM_SMALL)
+    bad = Job.make("swm", "cc", machine=MachineSpec(nprocs=16),
+                   config=dict(SWM_SMALL, no_such_knob=1))
+    engine = ExperimentEngine(jobs=2, cache=False)
+    with pytest.raises(ExperimentError, match=r"\(swm, cc, pvm\)"):
+        engine.run([good, bad])

@@ -46,7 +46,20 @@ class TestSnapshot:
             "total_messages",
             "total_bytes",
             "execution_time",
+            "sim.fastpath.compiled",
+            "sim.fastpath.extrapolated_trips",
+            "sim.fastpath.fallbacks",
         }
+
+    def test_fastpath_engagement_is_pinned(self, snapshot):
+        # a TIMING study runs the compiled path by default; the baseline
+        # records that fact so a silent disengagement drifts
+        cell = snapshot["benchmarks"]["swm"]["cc"]
+        assert cell["sim.fastpath.compiled"] == 1
+        changed = json.loads(json.dumps(snapshot))
+        changed["benchmarks"]["swm"]["cc"]["sim.fastpath.compiled"] = 0
+        drifts = diff_baseline(changed, snapshot)
+        assert [d.field for d in drifts] == ["sim.fastpath.compiled"]
 
     def test_empty_study_rejected(self):
         class Empty:

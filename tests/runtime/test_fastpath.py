@@ -1,0 +1,205 @@
+"""Parity tests for the compiled TIMING fast path.
+
+The fast path's contract is *exactness*: for any program, the compiled
+schedule must produce bit-identical clocks, counts, volumes, warnings,
+and scalars versus the interpreted walk — extrapolation included.  These
+tests enforce the contract across the full paper matrix (every benchmark
+x experiment key x machine) and on synthetic programs built to hit the
+fallback and extrapolation edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExecutionMode,
+    compile_program,
+    machine_by_name,
+    simulate,
+)
+from repro.errors import RuntimeFault
+from repro.experiments_registry import EXPERIMENT_KEYS, experiment_spec
+from repro.programs import BENCHMARKS, build_benchmark, small_config
+
+NPROCS = 16
+
+
+def run_both(program, machine, **kwargs):
+    """One interpreted run, one compiled run; the pair to compare."""
+    interp = simulate(program, machine, ExecutionMode.TIMING, fast=False, **kwargs)
+    fast = simulate(program, machine, ExecutionMode.TIMING, fast=True, **kwargs)
+    assert interp.fastpath is None
+    assert fast.fastpath is not None
+    return interp, fast
+
+
+def assert_parity(interp, fast):
+    """Bitwise equality of every observable the paper's figures read."""
+    assert np.array_equal(interp.clocks, fast.clocks)
+    assert interp.time == fast.time
+    assert interp.static_comm_count == fast.static_comm_count
+    assert interp.dynamic_comm_count == fast.dynamic_comm_count
+    ii, fi = interp.instrument, fast.instrument
+    assert np.array_equal(ii.dynamic_comms, fi.dynamic_comms)
+    assert np.array_equal(ii.messages, fi.messages)
+    assert np.array_equal(ii.bytes_moved, fi.bytes_moved)
+    assert ii.call_counts == fi.call_counts
+    assert ii.reductions == fi.reductions
+    assert interp.warnings == fast.warnings
+    assert interp.scalars == fast.scalars
+
+
+def machine_for(name):
+    # the Paragon model only binds the NX library family; the T3D takes
+    # each experiment key's default (PVM / SHMEM)
+    def build(key):
+        spec = experiment_spec(key)
+        library = "nx" if name == "paragon" else spec.library
+        return machine_by_name(name, NPROCS, library)
+
+    return build
+
+
+class TestPaperMatrixParity:
+    """Every benchmark x experiment key x machine, at test scale."""
+
+    @pytest.mark.parametrize("machine_name", ["t3d", "paragon"])
+    @pytest.mark.parametrize("key", EXPERIMENT_KEYS)
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_parity(self, bench, key, machine_name):
+        spec = experiment_spec(key)
+        program = build_benchmark(
+            bench, config=small_config(bench), opt=spec.opt
+        )
+        machine = machine_for(machine_name)(key)
+        interp, fast = run_both(program, machine)
+        assert_parity(interp, fast)
+
+
+STEADY_SRC = """
+program steady;
+config n : integer = 16;
+config k : integer = 30;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+direction west = [0, -1];
+var A, B : [R] double;
+var s : double;
+procedure main();
+begin
+  [R] A := index1 + index2;
+  for t := 1 to k do
+    [In] B := 0.5 * (A@east + A@west);
+    [In] A := A * 0.9 + B * 0.1;
+    -- the reduction synchronizes the ranks each trip, like the
+    -- benchmarks' per-iteration convergence checks; without one the
+    -- rank skew grows forever and no steady state exists
+    [In] s := +<< A;
+  end;
+end;
+"""
+
+BRANCHY_SRC = """
+program branchy;
+config n : integer = 16;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+direction west = [0, -1];
+var A, B : [R] double;
+procedure main();
+begin
+  [R] A := index1 + index2;
+  for t := 1 to 12 do
+    if t < 6.0 then
+      [In] B := A@east;
+    else
+      [In] B := A@west;
+    end;
+    [R] A := A + B * 0.5;
+  end;
+end;
+"""
+
+REPEAT_SRC = """
+program rep;
+config n : integer = 16;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+var A, B : [R] double;
+var s : double;
+procedure main();
+begin
+  [R] A := 1.0;
+  repeat
+    [In] B := A@east;
+    [In] A := A + B * 0.1;
+    -- TIMING evaluates reductions as 0.0, so s never crosses the
+    -- threshold: the loop runs to the cap, in steady state
+    [In] s := +<< A;
+  until s > 0.5;
+end;
+"""
+
+
+class TestSteadyStateExtrapolation:
+    def test_counted_loop_extrapolates_and_matches(self):
+        program = compile_program(STEADY_SRC, "steady.zl")
+        machine = machine_by_name("t3d", NPROCS, "pvm")
+        interp, fast = run_both(program, machine)
+        assert_parity(interp, fast)
+        assert fast.fastpath.extrapolated_loops >= 1
+        # detection needs a couple of observed iterations; the bulk of
+        # the 30 trips must be applied in closed form
+        assert fast.fastpath.extrapolated_trips >= 20
+
+    def test_branch_on_loop_var_falls_back(self):
+        """A scalar-dependent branch in the body makes the loop
+        ineligible — it must step every trip, and still match."""
+        program = compile_program(BRANCHY_SRC, "branchy.zl")
+        machine = machine_by_name("t3d", NPROCS, "pvm")
+        interp, fast = run_both(program, machine)
+        assert_parity(interp, fast)
+        assert fast.fastpath.fallbacks >= 1
+        assert fast.fastpath.extrapolated_loops == 0
+
+    def test_capped_repeat_extrapolates_to_cap(self):
+        """A never-converging repeat reaches the cap in closed form with
+        the interpreted walk's exact state and warning."""
+        program = compile_program(REPEAT_SRC, "rep.zl")
+        machine = machine_by_name("t3d", NPROCS, "pvm")
+        interp, fast = run_both(program, machine, repeat_cap=50)
+        assert_parity(interp, fast)
+        assert any("capped" in w for w in fast.warnings)
+        assert fast.fastpath.extrapolated_trips > 0
+
+
+class TestFastArgumentValidation:
+    def test_numeric_mode_rejected(self):
+        program = compile_program(STEADY_SRC, "steady.zl")
+        machine = machine_by_name("t3d", 4, "pvm")
+        with pytest.raises(RuntimeFault, match="TIMING"):
+            simulate(program, machine, ExecutionMode.NUMERIC, fast=True)
+
+    def test_trace_rank_rejected(self):
+        program = compile_program(STEADY_SRC, "steady.zl")
+        machine = machine_by_name("t3d", 4, "pvm")
+        with pytest.raises(RuntimeFault, match="trace"):
+            simulate(
+                program, machine, ExecutionMode.TIMING, fast=True, trace_rank=0
+            )
+
+    def test_auto_selects_fast_for_timing(self):
+        program = compile_program(STEADY_SRC, "steady.zl")
+        machine = machine_by_name("t3d", 4, "pvm")
+        auto = simulate(program, machine, ExecutionMode.TIMING)
+        assert auto.fastpath is not None
+
+    def test_auto_interprets_when_tracing(self):
+        program = compile_program(STEADY_SRC, "steady.zl")
+        machine = machine_by_name("t3d", 4, "pvm")
+        traced = simulate(program, machine, ExecutionMode.TIMING, trace_rank=0)
+        assert traced.fastpath is None
+        assert traced.trace is not None
