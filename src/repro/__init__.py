@@ -29,6 +29,14 @@ A from-scratch implementation of the paper's entire system:
 
   >>> study = run_study(benchmarks=("swm",), nprocs=16, jobs=4)  # doctest: +SKIP
 
+* a **parameter-sweep subsystem** deriving validated machine variants
+  (latencies, bandwidths, primitive-cost fields, processor counts) and
+  running the study matrix over every point, with scaling curves and
+  automatic win/loss crossover detection — :mod:`repro.sweep` and
+  :mod:`repro.analysis.scaling`, fronted by :func:`run_sweep`:
+
+  >>> sweep = run_sweep(axes=[SweepAxis("nprocs", (4, 16, 64))])  # doctest: +SKIP
+
 * a unified **observability layer** — hierarchical spans, a metrics
   registry, JSONL / Perfetto (Chrome trace-event) / in-memory sinks,
   and telemetry-driven regression baselines — :mod:`repro.obs`, wired
@@ -89,6 +97,7 @@ from repro.errors import (
     SemanticError,
 )
 from repro import obs
+from repro.sweep import SweepAxis, run_sweep
 from repro.frontend import analyze, parse
 from repro.ir import emit_c, lower
 from repro.machine import Machine, machine_by_name, paragon, t3d
@@ -112,6 +121,8 @@ __all__ = [
     "static_comm_count",
     # the experiment engine
     "run_study",
+    "run_sweep",
+    "SweepAxis",
     "load_telemetry",
     "ExperimentEngine",
     "ExperimentSpec",

@@ -39,6 +39,14 @@ Commands
     exactly, model times within ``--tolerance``.  Exits nonzero on any
     drift; ``--update`` (re)writes the baseline instead.
 
+``sweep``
+    Expand ``--axis name=v1,v2,...`` axes (processor counts, network
+    parameters, primitive-cost fields) into derived machine variants and
+    run the benchmark x experiment matrix over every point through the
+    cached engine; prints the scaling report with detected crossovers
+    and optionally emits it (``--csv``/``--json``).  ``--set`` pins a
+    machine override at every point; see ``docs/SWEEPS.md``.
+
 ``figure6``
     Run the synthetic overhead benchmark and print the Figure 6 curves.
 """
@@ -52,21 +60,26 @@ from pathlib import Path
 from repro import (
     BaselineError,
     ExecutionMode,
+    MachineError,
     OptimizationConfig,
     compile_program,
     emit_c,
     machine_by_name,
     obs,
     run_study,
+    run_sweep,
     simulate,
 )
 from repro.analysis import EXPERIMENT_KEYS, experiment_spec, format_table
 from repro.analysis import attribution as attr
 from repro.analysis import figures as fig
+from repro.analysis import scaling
 from repro.comm import registered_passes
 from repro.engine import Job, MachineSpec
+from repro.errors import ExperimentError
 from repro.frontend import parse_config_assignments
 from repro.programs import BENCHMARKS, benchmark_source
+from repro.sweep.axes import parse_axes
 
 
 def _parse_config(pairs):
@@ -124,16 +137,19 @@ def cmd_run(args) -> int:
 def cmd_experiments(args) -> int:
     benches = args.bench or list(BENCHMARKS)
     overrides = _parse_config(args.config)
-    results = run_study(
-        benchmarks=benches,
-        nprocs=args.procs,
-        config_overrides={b: overrides for b in benches} if overrides else None,
-        fast=False if args.no_fast_path else None,
-        jobs=args.jobs,
-        cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        telemetry=args.telemetry,
-    )
+    try:
+        results = run_study(
+            benchmarks=benches,
+            nprocs=args.procs,
+            config_overrides={b: overrides for b in benches} if overrides else None,
+            fast=False if args.no_fast_path else None,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            telemetry=args.telemetry,
+        )
+    except MachineError as exc:
+        raise SystemExit(f"experiments: {exc}") from None
     print(format_table(*fig.figure8_counts(results), title="Figure 8 — comm count reduction (scaled to baseline)"))
     print()
     print(format_table(*fig.figure10a_times(results), title="Figure 10(a) — scaled times, PVM"))
@@ -310,6 +326,53 @@ def cmd_compare(args) -> int:
     return 1 if drifts else 0
 
 
+def cmd_sweep(args) -> int:
+    benches = args.bench or list(BENCHMARKS)
+    keys = tuple(args.keys or EXPERIMENT_KEYS)
+    config = _parse_config(args.config)
+    try:
+        pinned = parse_config_assignments(args.set)
+    except ValueError as exc:
+        raise SystemExit(f"--set: {exc}") from None
+    try:
+        axes = parse_axes(args.axis)
+        sweep = run_sweep(
+            axes=axes,
+            benchmarks=benches,
+            keys=keys,
+            machine=MachineSpec.coerce(args.machine, nprocs=args.nprocs),
+            library=args.library,
+            overrides=pinned or None,
+            config_overrides={b: config for b in benches} if config else None,
+            fast=False if args.no_fast_path else None,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            telemetry=args.telemetry,
+        )
+    except (MachineError, ExperimentError) as exc:
+        raise SystemExit(f"sweep: {exc}") from None
+    crossovers = scaling.detect_crossovers(sweep)
+    print(
+        f"sweep: {len(sweep.points)} points x {sweep.cells_per_point} cells "
+        f"({', '.join(a.describe() for a in axes)}) on {args.machine}"
+    )
+    print(
+        f"engine: {sweep.cells} cells, {sweep.cache_hits} cache hits, "
+        f"{sweep.cells - sweep.cache_hits} simulated"
+    )
+    print()
+    print(scaling.format_scaling_report(sweep, crossovers))
+    if args.csv:
+        print(f"\nscaling CSV written:  {scaling.write_csv(args.csv, sweep)}")
+    if args.json:
+        print(
+            "scaling JSON written: "
+            f"{scaling.write_json(args.json, sweep, crossovers)}"
+        )
+    return 0
+
+
 def cmd_figure6(args) -> int:
     headers, rows = fig.figure6_overhead(reps=args.reps)
     print(format_table(headers, rows, float_fmt=".1f", title="Figure 6 — exposed communication cost (us)"))
@@ -342,7 +405,9 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("experiments", help="run the whole-program study")
     p.add_argument("--bench", action="append", choices=BENCHMARKS)
-    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--procs", "--nprocs", dest="procs", type=int, default=64,
+                   metavar="N", help="processor count (default 64; must be "
+                   "positive)")
     p.add_argument("--config", action="append", metavar="NAME=VALUE",
                    help="config override applied to every benchmark")
     p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
@@ -409,6 +474,49 @@ def main(argv=None) -> int:
     p.add_argument("--update", action="store_true",
                    help="(re)write the baseline instead of comparing")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "sweep",
+        help="sweep machine/processor axes and report scaling crossovers",
+    )
+    p.add_argument("--axis", action="append", required=True,
+                   metavar="NAME=V1,V2,...",
+                   help="a swept axis: nprocs, net.latency, net.bandwidth, "
+                   "net.raw_latency, compute.*, reduction.stage_cost, or "
+                   "prim.<name|*>.<field> (repeatable; grid is the product)")
+    p.add_argument("--bench", action="append", choices=BENCHMARKS)
+    p.add_argument("--keys", nargs="+", choices=EXPERIMENT_KEYS, default=None,
+                   help="experiment keys to run at every point "
+                   "(default: all six)")
+    p.add_argument("--machine", default="t3d",
+                   help="base machine the variants derive from (t3d/paragon)")
+    p.add_argument("--library", default=None,
+                   help="communication library override (default: each "
+                   "key's library)")
+    p.add_argument("--nprocs", "--procs", dest="nprocs", type=int,
+                   default=None, metavar="N",
+                   help="base processor count when no nprocs axis is given "
+                   "(default: the machine's)")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="machine override pinned at every sweep point "
+                   "(e.g. prim.*.per_byte_beyond=1e-6)")
+    p.add_argument("--config", action="append", metavar="NAME=VALUE",
+                   help="program config override applied to every benchmark")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="write the per-cell scaling table as CSV")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full scaling document (axes, rows, "
+                   "crossovers) as JSON")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="write per-job telemetry records as JSON")
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes for the job matrix (default 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache (.repro-cache/)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="force the interpreted simulator walk")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")
     p.add_argument("--reps", type=int, default=1000)

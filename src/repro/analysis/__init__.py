@@ -6,6 +6,8 @@ defined in :mod:`repro.experiments_registry`;
 :mod:`repro.analysis.figures` regenerates each figure/table's rows;
 :mod:`repro.analysis.attribution` breaks each cell's reduction down by
 optimizer pass using engine telemetry;
+:mod:`repro.analysis.scaling` turns :mod:`repro.sweep` results into
+per-optimization curves, crossovers, and CSV/JSON documents;
 :mod:`repro.analysis.report` renders them as aligned text tables.
 """
 
@@ -24,17 +26,29 @@ from repro.analysis.experiments import (
     run_benchmark_suite,
 )
 from repro.analysis.report import format_table
+from repro.analysis.scaling import (
+    Crossover,
+    detect_crossovers,
+    format_scaling_report,
+    scaling_rows,
+    speedup_curve,
+)
 
 __all__ = [
     "EXPERIMENT_KEYS",
+    "Crossover",
     "ExperimentResult",
     "ExperimentSpec",
+    "detect_crossovers",
     "experiment_spec",
     "figure8_by_pass",
+    "format_scaling_report",
     "pass_attribution",
     "pipeline_report",
     "report_reconciles",
     "run_experiment",
     "run_benchmark_suite",
     "format_table",
+    "scaling_rows",
+    "speedup_curve",
 ]

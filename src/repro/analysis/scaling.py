@@ -1,0 +1,337 @@
+"""Scaling analysis over sweep results: curves, crossovers, emission.
+
+The paper's experiments are cumulative — each key adds one optimization
+on top of the previous one — so the natural per-optimization signal at
+a swept point is the *incremental* ratio ``time(key) / time(prev key)``
+(``cc/rr`` prices combining alone, ``pl/cc`` pipelining alone, ...).
+A ratio below 1 means the optimization still pays at that point; a
+*crossover* is the axis value where the ratio crosses 1.0 — where
+combining stops winning as the knee shrinks, or pipelining stops hiding
+anything as the latency approaches zero.
+
+All functions are pure consumers of a
+:class:`~repro.sweep.SweepResult`; nothing here simulates.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.report import format_table
+from repro.obs import core as obs
+from repro.sweep.axes import AxisValue
+from repro.sweep.core import SweepResult
+
+__all__ = [
+    "SCALING_SCHEMA",
+    "Crossover",
+    "detect_crossovers",
+    "find_crossings",
+    "format_scaling_report",
+    "scaling_rows",
+    "speedup_curve",
+    "write_csv",
+    "write_json",
+]
+
+#: Schema version of the emitted CSV/JSON scaling documents.
+SCALING_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One detected win/loss flip along one axis.
+
+    The ratio ``time(experiment) / time(reference)`` crosses 1.0 between
+    axis values ``x_low`` and ``x_high``; ``x_estimate`` linearly
+    interpolates the crossing point.  ``group`` pins the other axes'
+    coordinates (empty for a one-axis sweep).
+    """
+
+    benchmark: str
+    experiment: str
+    reference: str
+    axis: str
+    group: Tuple[Tuple[str, AxisValue], ...]
+    x_low: AxisValue
+    x_high: AxisValue
+    x_estimate: float
+    ratio_low: float
+    ratio_high: float
+
+    @property
+    def direction(self) -> str:
+        """``"win->loss"`` when the ratio rises through 1.0."""
+        return "win->loss" if self.ratio_high > self.ratio_low else "loss->win"
+
+
+def scaling_rows(sweep: SweepResult) -> Tuple[List[str], List[List]]:
+    """One row per swept cell, ready for ``format_table``/CSV.
+
+    Columns: the axis coordinates, then identity (benchmark /
+    experiment / library / variant), the raw observables, and the two
+    scaled views — ``vs_baseline`` (the paper's presentation, scaled to
+    the first key at the same point) and ``vs_prev`` (the incremental
+    ratio against the previous key, the crossover signal).
+    """
+    axis_names = [axis.name for axis in sweep.axes]
+    headers = axis_names + [
+        "benchmark",
+        "experiment",
+        "library",
+        "variant",
+        "static",
+        "dynamic",
+        "time",
+        "vs_baseline",
+        "vs_prev",
+    ]
+    rows: List[List] = []
+    for point, block in sweep.iter_points():
+        coords = [point.coord(name) for name in axis_names]
+        by_bench: Dict[str, Dict[str, object]] = {}
+        for outcome in block:
+            by_bench.setdefault(outcome.job.benchmark, {})[
+                outcome.job.experiment
+            ] = outcome
+        for bench in sweep.benchmarks:
+            cells = by_bench.get(bench, {})
+            base_time: Optional[float] = None
+            prev_time: Optional[float] = None
+            for key in sweep.keys:
+                outcome = cells.get(key)
+                if outcome is None:
+                    continue
+                res = outcome.result
+                if base_time is None:
+                    base_time = res.execution_time
+                rows.append(
+                    coords
+                    + [
+                        bench,
+                        key,
+                        res.library,
+                        point.variant,
+                        res.static_count,
+                        res.dynamic_count,
+                        res.execution_time,
+                        res.execution_time / base_time if base_time else 1.0,
+                        res.execution_time / prev_time
+                        if prev_time
+                        else 1.0,
+                    ]
+                )
+                prev_time = res.execution_time
+    return headers, rows
+
+
+def speedup_curve(
+    sweep: SweepResult,
+    axis: str,
+    benchmark: str,
+    experiment: str,
+    reference: Optional[str] = None,
+) -> List[Tuple[Tuple[Tuple[str, AxisValue], ...], List[Tuple[AxisValue, float]]]]:
+    """Ratio-vs-axis curves for one (benchmark, experiment) pair.
+
+    Returns one ``(group, [(x, ratio), ...])`` entry per combination of
+    the *other* axes' values, with points ordered by ``x``.  ``ratio``
+    is ``time(experiment) / time(reference)``; ``reference`` defaults to
+    the key immediately before ``experiment`` in the sweep's key order
+    (the incremental view).
+    """
+    keys = list(sweep.keys)
+    if experiment not in keys:
+        raise KeyError(f"experiment {experiment!r} not in sweep keys {keys}")
+    if reference is None:
+        idx = keys.index(experiment)
+        reference = keys[idx - 1] if idx > 0 else keys[0]
+
+    groups: Dict[Tuple, List[Tuple[AxisValue, float]]] = {}
+    for point, block in sweep.iter_points():
+        times: Dict[str, float] = {}
+        for outcome in block:
+            if outcome.job.benchmark == benchmark:
+                times[outcome.job.experiment] = outcome.result.execution_time
+        if experiment not in times or reference not in times:
+            continue
+        x = point.coord(axis)
+        group = tuple(
+            (name, value) for name, value in point.coords if name != axis
+        )
+        groups.setdefault(group, []).append(
+            (x, times[experiment] / times[reference])
+        )
+    return [
+        (group, sorted(pts, key=lambda p: p[0]))
+        for group, pts in sorted(groups.items())
+    ]
+
+
+def find_crossings(
+    points: Sequence[Tuple[AxisValue, float]], threshold: float = 1.0
+) -> List[Tuple[AxisValue, AxisValue, float, float, float]]:
+    """Sign changes of ``ratio - threshold`` between consecutive points.
+
+    Pure helper over an ordered ``[(x, ratio), ...]`` curve; returns
+    ``(x_low, x_high, x_estimate, ratio_low, ratio_high)`` per crossing,
+    with ``x_estimate`` linearly interpolated.  Points sitting exactly
+    on the threshold delimit a crossing only if the neighbours straddle
+    it.
+    """
+    out = []
+    for (x0, r0), (x1, r1) in zip(points, points[1:]):
+        d0, d1 = r0 - threshold, r1 - threshold
+        if d0 == 0 or d1 == 0 or (d0 < 0) == (d1 < 0):
+            continue
+        frac = d0 / (d0 - d1)
+        out.append((x0, x1, float(x0) + frac * (float(x1) - float(x0)), r0, r1))
+    return out
+
+
+def detect_crossovers(sweep: SweepResult) -> List[Crossover]:
+    """Every win/loss flip of every incremental optimization, along
+    every axis, in every benchmark and other-axis group."""
+    crossovers: List[Crossover] = []
+    keys = list(sweep.keys)
+    for axis in sweep.axes:
+        if len(axis.values) < 2:
+            continue
+        for bench in sweep.benchmarks:
+            for prev, key in zip(keys, keys[1:]):
+                for group, curve in speedup_curve(
+                    sweep, axis.name, bench, key, reference=prev
+                ):
+                    for x0, x1, est, r0, r1 in find_crossings(curve):
+                        crossovers.append(
+                            Crossover(
+                                benchmark=bench,
+                                experiment=key,
+                                reference=prev,
+                                axis=axis.name,
+                                group=group,
+                                x_low=x0,
+                                x_high=x1,
+                                x_estimate=est,
+                                ratio_low=r0,
+                                ratio_high=r1,
+                            )
+                        )
+    obs.add("sweep.crossovers", len(crossovers))
+    return crossovers
+
+
+def _crossover_rows(
+    crossovers: Sequence[Crossover],
+) -> Tuple[List[str], List[List]]:
+    headers = [
+        "benchmark",
+        "experiment",
+        "vs",
+        "axis",
+        "group",
+        "direction",
+        "x_low",
+        "x_high",
+        "x_estimate",
+        "ratio_low",
+        "ratio_high",
+    ]
+    rows = [
+        [
+            c.benchmark,
+            c.experiment,
+            c.reference,
+            c.axis,
+            ",".join(f"{n}={v:g}" for n, v in c.group) or "-",
+            c.direction,
+            c.x_low,
+            c.x_high,
+            c.x_estimate,
+            c.ratio_low,
+            c.ratio_high,
+        ]
+        for c in crossovers
+    ]
+    return headers, rows
+
+
+def format_scaling_report(
+    sweep: SweepResult, crossovers: Optional[Sequence[Crossover]] = None
+) -> str:
+    """The CLI's text report: the per-cell table plus the crossovers."""
+    if crossovers is None:
+        crossovers = detect_crossovers(sweep)
+    headers, rows = scaling_rows(sweep)
+    parts = [
+        format_table(
+            headers,
+            rows,
+            float_fmt=".6g",
+            title=f"Scaling sweep — {sweep.cells} cells over "
+            f"{len(sweep.points)} points",
+        )
+    ]
+    if crossovers:
+        ch, cr = _crossover_rows(crossovers)
+        parts.append(
+            format_table(
+                ch,
+                cr,
+                float_fmt=".6g",
+                title=f"Crossovers — {len(crossovers)} detected "
+                "(incremental ratio crosses 1.0)",
+            )
+        )
+    else:
+        parts.append("Crossovers — none detected")
+    return "\n\n".join(parts)
+
+
+def write_csv(path: Union[str, Path], sweep: SweepResult) -> Path:
+    """The per-cell scaling table as CSV (header row + one row per
+    swept cell, floats in full ``repr`` precision)."""
+    path = Path(path)
+    headers, rows = scaling_rows(sweep)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def write_json(
+    path: Union[str, Path],
+    sweep: SweepResult,
+    crossovers: Optional[Sequence[Crossover]] = None,
+) -> Path:
+    """The full scaling document: axes, per-cell rows, crossovers."""
+    if crossovers is None:
+        crossovers = detect_crossovers(sweep)
+    headers, rows = scaling_rows(sweep)
+    doc = {
+        "schema": SCALING_SCHEMA,
+        "axes": [
+            {"name": a.name, "values": list(a.values)} for a in sweep.axes
+        ],
+        "benchmarks": list(sweep.benchmarks),
+        "keys": list(sweep.keys),
+        "points": [
+            {
+                "coords": dict(p.coords),
+                "variant": p.variant,
+                "nprocs": p.machine.nprocs,
+            }
+            for p in sweep.points
+        ],
+        "columns": headers,
+        "rows": rows,
+        "crossovers": [asdict(c) for c in crossovers],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path

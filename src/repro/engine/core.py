@@ -364,7 +364,11 @@ def run_study(
         benchmarks = (benchmarks,)
     benchmarks = tuple(benchmarks)
     keys = tuple(keys)
-    spec = MachineSpec.coerce(machine, nprocs=nprocs or 64, library=library)
+    # `nprocs or 64` would silently promote an (invalid) 0 to the paper's
+    # default; pass the value through so MachineSpec rejects it
+    spec = MachineSpec.coerce(
+        machine, nprocs=64 if nprocs is None else nprocs, library=library
+    )
 
     matrix = build_matrix(
         benchmarks,

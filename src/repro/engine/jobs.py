@@ -26,9 +26,15 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Mapping, Optional, Tuple, Union
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, MachineError
 from repro.experiments_registry import experiment_spec
 from repro.machine import Machine, machine_by_name
+from repro.machine.variants import (
+    OverrideValue,
+    apply_overrides,
+    normalize_overrides,
+    variant_id,
+)
 from repro.programs import benchmark_source, default_config
 
 #: Bump to invalidate every existing cache entry (schema or semantics
@@ -65,17 +71,47 @@ class MachineSpec:
     paper's default binding.  An explicit library overrides the key, as
     the ``machine`` argument of
     :func:`~repro.analysis.experiments.run_experiment` always has.
+
+    ``overrides`` derives a swept machine *variant*: a sorted tuple of
+    ``(path, value)`` parameter overrides (see
+    :mod:`repro.machine.variants`) applied on top of the named factory
+    machine.  Non-empty overrides flow into the job fingerprint through
+    their content, so every variant caches independently.
     """
 
     name: str = "t3d"
     nprocs: int = 64
     library: Optional[str] = None
+    overrides: Tuple[Tuple[str, OverrideValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nprocs, int) or isinstance(self.nprocs, bool):
+            raise MachineError(
+                f"processor count must be an integer, got {self.nprocs!r}"
+            )
+        if self.nprocs < 1:
+            raise MachineError(
+                f"processor count must be positive, got {self.nprocs}"
+            )
+        # canonicalize + validate eagerly: a bad path fails at spec
+        # construction, not inside a pool worker
+        object.__setattr__(
+            self, "overrides", normalize_overrides(dict(self.overrides))
+        )
+
+    @property
+    def variant(self) -> str:
+        """Content-stable variant identifier (``"base"`` unswept)."""
+        return variant_id(dict(self.overrides))
 
     def build(self, default_library: Optional[str] = None) -> Machine:
-        """Materialize the simulated machine."""
-        return machine_by_name(
+        """Materialize the simulated machine (with overrides applied)."""
+        machine = machine_by_name(
             self.name, self.nprocs, self.library or default_library
         )
+        if self.overrides:
+            machine = apply_overrides(machine, dict(self.overrides))
+        return machine
 
     @classmethod
     def coerce(
@@ -83,6 +119,7 @@ class MachineSpec:
         machine: Union["MachineSpec", str, None],
         nprocs: Optional[int] = None,
         library: Optional[str] = None,
+        overrides: Optional[Mapping[str, OverrideValue]] = None,
     ) -> "MachineSpec":
         """Accept a spec, a machine name, or None (the paper's T3D)."""
         if machine is None:
@@ -97,6 +134,10 @@ class MachineSpec:
             machine = dataclasses.replace(machine, nprocs=nprocs)
         if library is not None:
             machine = dataclasses.replace(machine, library=library)
+        if overrides is not None:
+            machine = dataclasses.replace(
+                machine, overrides=tuple(sorted(overrides.items()))
+            )
         return machine
 
 
@@ -153,6 +194,18 @@ class Job:
         import repro
 
         spec = experiment_spec(self.experiment)
+        machine_payload = {
+            "name": self.machine.name,
+            "nprocs": self.machine.nprocs,
+            "library": self.machine.library or spec.library,
+        }
+        if self.machine.overrides:
+            # swept variants fingerprint by override content; the base
+            # machine's payload (and so every pre-sweep cache entry)
+            # stays byte-identical
+            machine_payload["overrides"] = [
+                list(item) for item in self.machine.overrides
+            ]
         payload = {
             "engine": ENGINE_VERSION,
             "repro": repro.__version__,
@@ -161,11 +214,7 @@ class Job:
             "experiment": self.experiment,
             "opt": dataclasses.asdict(spec.opt),
             "pipeline": list(spec.pipeline().signature()),
-            "machine": {
-                "name": self.machine.name,
-                "nprocs": self.machine.nprocs,
-                "library": self.machine.library or spec.library,
-            },
+            "machine": machine_payload,
             "config": self.merged_config(),
             "mode": self.mode,
         }

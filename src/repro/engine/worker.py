@@ -141,6 +141,7 @@ def _execute_job(job: Job) -> dict:
         experiment=job.experiment,
         machine=job.machine.name,
         nprocs=job.machine.nprocs,
+        variant=job.machine.variant,
     ):
         spec = experiment_spec(job.experiment)
         machine = job.machine.build(spec.library)
@@ -162,6 +163,10 @@ def _execute_job(job: Job) -> dict:
         "experiment": job.experiment,
         "machine": job.machine.name,
         "nprocs": job.machine.nprocs,
+        # swept-variant identity: "base" plus {} for the calibrated
+        # machines (readers of pre-sweep records must .get these)
+        "machine_variant": job.machine.variant,
+        "machine_overrides": {k: v for k, v in job.machine.overrides},
         "library": machine.library,
         "mode": job.mode,
         "config": {str(k): v for k, v in merged.items()},

@@ -28,7 +28,14 @@ from repro.machine.params import (
     PrimitiveCost,
     ReductionParams,
 )
-from repro.machine.factories import paragon, t3d, machine_by_name
+from repro.machine.factories import paragon, square_ish_grid, t3d, machine_by_name
+from repro.machine.variants import (
+    apply_overrides,
+    describe_overrides,
+    normalize_overrides,
+    validate_override_path,
+    variant_id,
+)
 
 __all__ = [
     "Machine",
@@ -39,4 +46,10 @@ __all__ = [
     "paragon",
     "t3d",
     "machine_by_name",
+    "square_ish_grid",
+    "apply_overrides",
+    "describe_overrides",
+    "normalize_overrides",
+    "validate_override_path",
+    "variant_id",
 ]

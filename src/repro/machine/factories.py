@@ -185,8 +185,10 @@ def machine_by_name(
     """Convenience lookup used by the CLI and the harness: ``"paragon"``
     or ``"t3d"`` with optional processor count and library override."""
     key = name.strip().lower()
+    # `nprocs or default` would silently turn an invalid 0 into the
+    # default count; pass it through so square_ish_grid rejects it
     if key == "paragon":
-        return paragon(nprocs or 2, library or "nx")
+        return paragon(2 if nprocs is None else nprocs, library or "nx")
     if key == "t3d":
-        return t3d(nprocs or 64, library or "pvm")
+        return t3d(64 if nprocs is None else nprocs, library or "pvm")
     raise MachineError(f"unknown machine {name!r} (valid: paragon, t3d)")

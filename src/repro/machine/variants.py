@@ -1,0 +1,222 @@
+"""Derived machine variants for parameter sweeps.
+
+The two calibrated machines (:func:`~repro.machine.factories.paragon`,
+:func:`~repro.machine.factories.t3d`) fix every cost parameter at the
+value that reproduces the paper's two data points.  A *variant* is the
+same machine with a small set of named parameters replaced — latency
+halved, the combining knee moved, a primitive's overhead scaled — so a
+sweep can turn each of the paper's findings into a curve.
+
+Overrides are flat ``path -> value`` mappings over a closed set of
+sweepable fields:
+
+==============================  =============================================
+path                            field
+==============================  =============================================
+``net.latency``                 :class:`~repro.machine.params.NetworkParams`
+``net.bandwidth``               (message-passing wire)
+``net.raw_latency``             one-sided wire latency (T3D SHMEM)
+``compute.flop_time``           :class:`~repro.machine.params.ComputeParams`
+``compute.loop_overhead``
+``reduction.stage_cost``        :class:`~repro.machine.params.ReductionParams`
+``prim.<name>.<field>``         one :class:`~repro.machine.params.PrimitiveCost`
+``prim.*.<field>``              every primitive of the machine
+==============================  =============================================
+
+where ``<field>`` is one of ``fixed``, ``per_byte``, ``knee_bytes``,
+``per_byte_beyond``, ``spread_penalty``, ``spread_cap``.
+
+:func:`apply_overrides` derives a new frozen :class:`Machine` through
+``dataclasses.replace`` — the base machine is never mutated — and
+:func:`variant_id` gives every override set a content-stable identifier
+that flows into the engine's job fingerprints, so swept cells cache
+independently of the calibrated machines and of each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.errors import MachineError
+from repro.machine.params import Machine, PrimitiveCost
+
+__all__ = [
+    "NETWORK_FIELDS",
+    "PRIMITIVE_FIELDS",
+    "SCALAR_PATHS",
+    "apply_overrides",
+    "describe_overrides",
+    "normalize_overrides",
+    "validate_override_path",
+    "variant_id",
+]
+
+OverrideValue = Union[int, float]
+
+#: Sweepable fields of :class:`NetworkParams`.
+NETWORK_FIELDS = ("latency", "bandwidth", "raw_latency")
+
+#: Sweepable fields of :class:`PrimitiveCost`.
+PRIMITIVE_FIELDS = (
+    "fixed",
+    "per_byte",
+    "knee_bytes",
+    "per_byte_beyond",
+    "spread_penalty",
+    "spread_cap",
+)
+
+#: Non-primitive paths and the (section, field) they resolve to.
+SCALAR_PATHS: Dict[str, Tuple[str, str]] = {
+    **{f"net.{f}": ("network", f) for f in NETWORK_FIELDS},
+    "compute.flop_time": ("compute", "flop_time"),
+    "compute.loop_overhead": ("compute", "loop_overhead"),
+    "reduction.stage_cost": ("reduction", "stage_cost"),
+}
+
+#: Fields that must stay strictly positive for the cost model to make
+#: sense (a zero-bandwidth wire divides by zero).
+_STRICTLY_POSITIVE = {"bandwidth"}
+
+#: Fields holding byte counts — coerced to int, must be integral.
+_INTEGRAL = {"knee_bytes"}
+
+
+def _valid_paths_hint() -> str:
+    return (
+        "valid paths: "
+        + ", ".join(sorted(SCALAR_PATHS))
+        + ", prim.<name|*>.{"
+        + ",".join(PRIMITIVE_FIELDS)
+        + "}"
+    )
+
+
+def validate_override_path(path: str) -> None:
+    """Check that ``path`` names a sweepable parameter (shape only —
+    primitive names are checked against a concrete machine when the
+    override is applied).  Raises :class:`MachineError` otherwise."""
+    if path in SCALAR_PATHS:
+        return
+    parts = path.split(".")
+    if len(parts) == 3 and parts[0] == "prim":
+        if parts[2] in PRIMITIVE_FIELDS:
+            return
+        raise MachineError(
+            f"unknown primitive-cost field {parts[2]!r} in override "
+            f"{path!r}; {_valid_paths_hint()}"
+        )
+    raise MachineError(f"unknown override path {path!r}; {_valid_paths_hint()}")
+
+
+def _check_value(path: str, field: str, value: OverrideValue) -> OverrideValue:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise MachineError(
+            f"override {path} must be a number, got {value!r}"
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise MachineError(f"override {path} must be finite, got {value!r}")
+    if value < 0:
+        raise MachineError(
+            f"override {path} must be non-negative, got {value!r}"
+        )
+    if field in _STRICTLY_POSITIVE and value == 0:
+        raise MachineError(f"override {path} must be positive, got {value!r}")
+    if field in _INTEGRAL:
+        if value != int(value):
+            raise MachineError(
+                f"override {path} must be an integral byte count, "
+                f"got {value!r}"
+            )
+        return int(value)
+    return value
+
+
+def normalize_overrides(
+    overrides: Mapping[str, OverrideValue],
+) -> Tuple[Tuple[str, OverrideValue], ...]:
+    """Validate paths/values and return the canonical (sorted, typed)
+    override tuple — the hashable form :class:`~repro.engine.MachineSpec`
+    carries and :func:`variant_id` hashes."""
+    out = []
+    for path in sorted(overrides):
+        validate_override_path(path)
+        field = path.rsplit(".", 1)[1]
+        out.append((path, _check_value(path, field, overrides[path])))
+    return tuple(out)
+
+
+def variant_id(overrides: Mapping[str, OverrideValue]) -> str:
+    """Content-stable identifier of an override set.
+
+    ``"base"`` for no overrides; otherwise a 12-hex-digit SHA-256 prefix
+    of the canonical JSON form, independent of mapping order.
+    """
+    items = normalize_overrides(overrides)
+    if not items:
+        return "base"
+    canonical = json.dumps(items, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def describe_overrides(overrides: Mapping[str, OverrideValue]) -> str:
+    """Human-readable ``path=value`` list in canonical order."""
+    items = normalize_overrides(overrides)
+    if not items:
+        return "base"
+    return ",".join(f"{path}={value:g}" for path, value in items)
+
+
+def apply_overrides(
+    base: Machine, overrides: Mapping[str, OverrideValue]
+) -> Machine:
+    """Derive a new :class:`Machine` with ``overrides`` applied.
+
+    Purely functional: every touched dataclass is rebuilt through
+    ``dataclasses.replace`` and the base machine (including its
+    primitives mapping) is left untouched.  Unknown paths, unknown
+    primitive names, and out-of-domain values raise
+    :class:`MachineError`.
+    """
+    items = normalize_overrides(overrides)
+    if not items:
+        return base
+
+    section_fields: Dict[str, Dict[str, OverrideValue]] = {}
+    prim_fields: Dict[str, Dict[str, OverrideValue]] = {}
+    for path, value in items:
+        if path in SCALAR_PATHS:
+            section, field = SCALAR_PATHS[path]
+            section_fields.setdefault(section, {})[field] = value
+        else:
+            _, prim_name, field = path.split(".")
+            prim_fields.setdefault(prim_name, {})[field] = value
+
+    changes: Dict[str, object] = {}
+    for section, fields in section_fields.items():
+        changes[section] = dataclasses.replace(
+            getattr(base, section), **fields
+        )
+
+    if prim_fields:
+        star = prim_fields.pop("*", {})
+        for prim_name in prim_fields:
+            if prim_name not in base.primitives:
+                raise MachineError(
+                    f"machine {base.name!r} has no primitive {prim_name!r} "
+                    f"to override (has: {', '.join(sorted(base.primitives))})"
+                )
+        primitives: Dict[str, PrimitiveCost] = {}
+        for name, prim in base.primitives.items():
+            fields = {**star, **prim_fields.get(name, {})}
+            primitives[name] = (
+                dataclasses.replace(prim, **fields) if fields else prim
+            )
+        changes["primitives"] = primitives
+
+    return dataclasses.replace(base, **changes)

@@ -106,8 +106,8 @@ class TransferPlan:
         self.participant_count = int(participants.sum())
         self.receivers_unique = np.unique(self.receivers)
         self.senders_unique = np.unique(self.senders)
-        self._prim_cache: Dict[Tuple[str, float, float], _PrimCache] = {}
-        self._recv_sw_cache: Dict[str, np.ndarray] = {}
+        self._prim_cache: Dict[Tuple, _PrimCache] = {}
+        self._recv_sw_cache: Dict[Tuple, np.ndarray] = {}
         self._fixed_cache: Dict[Tuple[str, float], np.ndarray] = {}
 
     @property
@@ -115,8 +115,15 @@ class TransferPlan:
         return len(self.messages)
 
     def prim_vectors(self, prim, network) -> _PrimCache:
-        """Cached per-primitive (cum_sw, total_by_rank, wire) vectors."""
-        key = (prim.name, network.latency, network.raw, network.bandwidth, prim.raw_wire)
+        """Cached per-primitive (cum_sw, total_by_rank, wire) vectors.
+
+        Keyed by the *full* cost model (the ``PrimitiveCost`` value, not
+        just its name) plus the wire parameters: plans are shared
+        process-wide across machines by geometry, so two machine variants
+        that differ only in a primitive-cost field (a parameter sweep)
+        must not reuse each other's vectors.
+        """
+        key = (prim, network.latency, network.raw, network.bandwidth)
         cached = self._prim_cache.get(key)
         if cached is not None:
             return cached
@@ -144,13 +151,14 @@ class TransferPlan:
 
     def recv_sw_by_rank(self, prim) -> np.ndarray:
         """Per-rank total receive software cost under ``prim``
-        (invariant per primitive — cached, treat as read-only)."""
-        out = self._recv_sw_cache.get(prim.name)
+        (invariant per cost model — cached by the full ``PrimitiveCost``
+        value, treat as read-only)."""
+        out = self._recv_sw_cache.get(prim)
         if out is None:
             out = np.zeros(self.nprocs, dtype=np.float64)
             for i, r in enumerate(self.receivers):
                 out[r] += prim.sw(int(self.nbytes[i]))
-            self._recv_sw_cache[prim.name] = out
+            self._recv_sw_cache[prim] = out
         return out
 
     def fixed_by_rank(self, role: str, fixed: float) -> np.ndarray:

@@ -1,0 +1,33 @@
+"""Declarative parameter sweeps over derived machine variants.
+
+The paper measures two machines at fixed processor counts, so each of
+its findings — the 4 KB combining knee, pipelining's latency
+sensitivity, the SHMEM ``synch`` penalty — is a pair of data points.
+This package turns them into curves: a :class:`SweepAxis` names one
+swept parameter (``nprocs`` or any :mod:`repro.machine.variants` path)
+and a list of values, :func:`expand_axes` takes the cartesian product
+into validated :class:`SweepPoint`\\ s (each a derived
+:class:`~repro.engine.MachineSpec` with a content-stable variant id),
+and :func:`run_sweep` runs the full ``benchmark x experiment`` matrix
+over every point through the experiment engine's existing job matrix —
+one cached, parallel :meth:`~repro.engine.ExperimentEngine.run`, not a
+new loop.
+
+The scaling analysis over the results (per-optimization curves,
+crossover detection, CSV/JSON emission) lives in
+:mod:`repro.analysis.scaling`; the CLI front end is
+``python -m repro sweep``.  See ``docs/SWEEPS.md``.
+"""
+
+from repro.sweep.axes import NPROCS_AXIS, SweepAxis, parse_axis
+from repro.sweep.core import SweepPoint, SweepResult, expand_axes, run_sweep
+
+__all__ = [
+    "NPROCS_AXIS",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepResult",
+    "expand_axes",
+    "parse_axis",
+    "run_sweep",
+]

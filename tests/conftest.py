@@ -1,10 +1,34 @@
-"""Shared fixtures: small ZL programs and machines used across the suite."""
+"""Shared fixtures: small ZL programs and machines used across the suite.
+
+Also pins the hypothesis settings profiles: ``ci`` (the default) is
+fixed-seed and deadline-free so tier-1 runs are deterministic and never
+flake on machine load; ``nightly`` spends more examples.  Select with
+``HYPOTHESIS_PROFILE=nightly pytest ...``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import OptimizationConfig, compile_program, paragon, t3d
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    deadline=None,
+    max_examples=200,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 #: A minimal but representative program: setup, a stencil loop with
 #: redundant/combinable/pipelinable communication, a reduction, a branch.

@@ -1,0 +1,116 @@
+"""Unit tests for the machine variant layer (`repro.machine.variants`)."""
+
+import pytest
+
+from repro import MachineError, paragon, t3d
+from repro.machine import (
+    apply_overrides,
+    describe_overrides,
+    normalize_overrides,
+    validate_override_path,
+    variant_id,
+)
+
+
+class TestPaths:
+    def test_scalar_paths_validate(self):
+        for path in (
+            "net.latency",
+            "net.bandwidth",
+            "net.raw_latency",
+            "compute.flop_time",
+            "compute.loop_overhead",
+            "reduction.stage_cost",
+            "prim.pvm_send.fixed",
+            "prim.*.knee_bytes",
+        ):
+            validate_override_path(path)
+
+    @pytest.mark.parametrize(
+        "path",
+        ["latency", "net", "net.speed", "prim.fixed", "prim.x.y.z", "prim.*.color"],
+    )
+    def test_bad_paths_rejected(self, path):
+        with pytest.raises(MachineError):
+            validate_override_path(path)
+
+    def test_error_lists_valid_paths(self):
+        with pytest.raises(MachineError, match="net.latency"):
+            validate_override_path("nonsense")
+
+
+class TestNormalize:
+    def test_sorted_and_typed(self):
+        items = normalize_overrides(
+            {"prim.*.knee_bytes": 64.0, "net.latency": 2e-6}
+        )
+        assert items == (("net.latency", 2e-6), ("prim.*.knee_bytes", 64))
+        assert isinstance(items[1][1], int)
+
+    def test_describe(self):
+        assert describe_overrides({}) == "base"
+        assert (
+            describe_overrides({"net.latency": 2e-6, "prim.*.fixed": 1e-5})
+            == "net.latency=2e-06,prim.*.fixed=1e-05"
+        )
+
+
+class TestApply:
+    def test_scalar_sections(self):
+        base = t3d(16)
+        derived = apply_overrides(
+            base,
+            {
+                "net.latency": 3e-6,
+                "compute.flop_time": 1e-8,
+                "reduction.stage_cost": 2e-5,
+            },
+        )
+        assert derived.network.latency == 3e-6
+        assert derived.compute.flop_time == 1e-8
+        assert derived.reduction.stage_cost == 2e-5
+        # untouched fields survive
+        assert derived.network.bandwidth == base.network.bandwidth
+        assert derived.network.raw_latency == base.network.raw_latency
+        assert derived.compute.loop_overhead == base.compute.loop_overhead
+
+    def test_star_applies_to_every_primitive(self):
+        derived = apply_overrides(paragon(4), {"prim.*.knee_bytes": 128})
+        assert all(p.knee_bytes == 128 for p in derived.primitives.values())
+
+    def test_named_primitive_wins_over_star(self):
+        derived = apply_overrides(
+            t3d(4),
+            {"prim.*.fixed": 1e-5, "prim.pvm_send.fixed": 9e-5},
+        )
+        assert derived.primitives["pvm_send"].fixed == 9e-5
+        assert derived.primitives["pvm_recv"].fixed == 1e-5
+
+    def test_empty_overrides_return_base(self):
+        base = t3d(4)
+        assert apply_overrides(base, {}) is base
+
+    def test_derived_machine_simulates(self):
+        # the derived machine passes Machine.__post_init__ and works
+        from repro import ExecutionMode, OptimizationConfig, compile_program, simulate
+        from tests.conftest import MINI_SOURCE
+
+        program = compile_program(
+            MINI_SOURCE, "mini.zl", opt=OptimizationConfig.full()
+        )
+        derived = apply_overrides(t3d(4), {"net.latency": 1e-7})
+        base_time = simulate(program, t3d(4), ExecutionMode.TIMING).time
+        fast_time = simulate(program, derived, ExecutionMode.TIMING).time
+        assert fast_time < base_time
+
+
+class TestVariantId:
+    def test_known_shape(self):
+        vid = variant_id({"net.latency": 1e-6})
+        assert len(vid) == 12 and vid != "base"
+
+    def test_value_type_does_not_matter_for_integral_fields(self):
+        # 64 and 64.0 normalize to the same canonical int
+        assert variant_id({"prim.*.knee_bytes": 64}) == variant_id(
+            {"prim.*.knee_bytes": 64.0}
+        )

@@ -1,0 +1,207 @@
+"""Property-based tests of the machine cost models and variant layer.
+
+These pin the structural facts the sweep subsystem leans on: the
+piecewise-linear overhead model is monotone and continuous at its knee,
+the mesh factorization is exact and most-square, and deriving a variant
+never mutates the calibrated base machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro import MachineError, paragon, t3d
+from repro.machine import (
+    PrimitiveCost,
+    apply_overrides,
+    normalize_overrides,
+    square_ish_grid,
+    variant_id,
+)
+
+# ---------------------------------------------------------------------------
+# PrimitiveCost.sw
+# ---------------------------------------------------------------------------
+
+costs = st.builds(
+    PrimitiveCost,
+    name=st.just("p"),
+    fixed=st.floats(0.0, 1e-3, allow_nan=False, allow_infinity=False),
+    per_byte=st.floats(0.0, 1e-6, allow_nan=False, allow_infinity=False),
+    knee_bytes=st.integers(0, 1 << 16),
+    per_byte_beyond=st.floats(0.0, 1e-6, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(prim=costs, n=st.integers(0, 1 << 20), step=st.integers(1, 1 << 12))
+def test_sw_is_non_decreasing(prim, n, step):
+    assert prim.sw(n + step) >= prim.sw(n)
+
+
+@given(prim=costs)
+def test_sw_is_continuous_at_the_knee(prim):
+    """Approaching the knee from either side converges to sw(knee):
+    the beyond-the-knee term switches on with zero jump."""
+    k = prim.knee_bytes
+    at = prim.sw(k)
+    below = prim.sw(max(0, k - 1))
+    above = prim.sw(k + 1)
+    scale = max(abs(at), 1.0)
+    assert abs(at - below) <= (prim.per_byte + 1e-12) * scale + 1e-12
+    assert abs(above - at) <= (
+        prim.per_byte + prim.per_byte_beyond + 1e-12
+    ) * scale + 1e-12
+
+
+@given(prim=costs, n=st.integers(0, 1 << 20))
+def test_sw_matches_closed_form(prim, n):
+    expected = (
+        prim.fixed
+        + prim.per_byte * n
+        + prim.per_byte_beyond * max(0, n - prim.knee_bytes)
+    )
+    assert prim.sw(n) == pytest.approx(expected, rel=1e-12, abs=0.0)
+
+
+@given(prim=costs, n=st.integers(0, 1 << 20))
+def test_sw_below_knee_has_no_beyond_term(prim, n):
+    clipped = min(n, prim.knee_bytes)
+    assert prim.sw(clipped) == pytest.approx(
+        prim.fixed + prim.per_byte * clipped, rel=1e-12, abs=0.0
+    )
+
+
+# ---------------------------------------------------------------------------
+# square_ish_grid
+# ---------------------------------------------------------------------------
+
+
+@given(n=st.integers(1, 4096))
+def test_grid_tiles_exactly_and_is_most_square(n):
+    rows, cols = square_ish_grid(n)
+    assert rows * cols == n
+    assert 1 <= rows <= cols
+    # most-square: no larger divisor of n fits below sqrt(n)
+    for d in range(rows + 1, int(math.isqrt(n)) + 1):
+        assert n % d != 0
+
+
+@given(n=st.integers(-100, 0))
+def test_grid_rejects_non_positive_counts(n):
+    with pytest.raises(MachineError, match="positive"):
+        square_ish_grid(n)
+
+
+def test_grid_known_factorizations():
+    assert square_ish_grid(1) == (1, 1)
+    assert square_ish_grid(12) == (3, 4)
+    assert square_ish_grid(16) == (4, 4)
+    assert square_ish_grid(17) == (1, 17)  # prime -> a row
+    assert square_ish_grid(64) == (8, 8)
+
+
+# ---------------------------------------------------------------------------
+# variant derivation
+# ---------------------------------------------------------------------------
+
+_SCALARS = [
+    "net.latency",
+    "net.bandwidth",
+    "compute.flop_time",
+    "reduction.stage_cost",
+    "prim.*.fixed",
+    "prim.*.knee_bytes",
+    "prim.*.per_byte_beyond",
+]
+
+def _value_for(path):
+    if path.endswith(".knee_bytes"):
+        return st.integers(1, 1 << 16)
+    return st.one_of(
+        st.floats(1e-9, 1e-3, allow_nan=False, allow_infinity=False),
+        st.integers(1, 1 << 16),
+    )
+
+
+override_sets = st.lists(
+    st.sampled_from(_SCALARS), min_size=1, max_size=4, unique=True
+).flatmap(
+    lambda paths: st.fixed_dictionaries({p: _value_for(p) for p in paths})
+)
+
+
+def _snapshot(machine):
+    return (
+        machine.network,
+        machine.compute,
+        machine.reduction,
+        dict(machine.primitives),
+    )
+
+
+@given(overrides=override_sets, base=st.sampled_from(["t3d", "paragon"]))
+def test_apply_overrides_never_mutates_base(overrides, base):
+    machine = t3d(16) if base == "t3d" else paragon(4)
+    before = _snapshot(machine)
+    derived = apply_overrides(machine, overrides)
+    assert _snapshot(machine) == before
+    assert derived is not machine
+    # and the override landed where it was aimed
+    for path, value in normalize_overrides(overrides):
+        if path == "net.latency":
+            assert derived.network.latency == value
+        elif path.startswith("prim.*."):
+            field = path.rsplit(".", 1)[1]
+            assert all(
+                getattr(p, field) == value
+                for p in derived.primitives.values()
+            )
+
+
+@given(overrides=override_sets)
+def test_variant_id_is_order_independent_and_stable(overrides):
+    items = list(overrides.items())
+    forward = variant_id(dict(items))
+    backward = variant_id(dict(reversed(items)))
+    assert forward == backward
+    assert forward != "base"
+    assert len(forward) == 12
+    int(forward, 16)  # hex
+
+
+def test_variant_id_of_empty_set_is_base():
+    assert variant_id({}) == "base"
+
+
+@given(overrides=override_sets)
+def test_distinct_overrides_distinct_ids(overrides):
+    path, value = next(iter(overrides.items()))
+    nudged = dict(overrides)
+    nudged[path] = value + 1
+    assert variant_id(overrides) != variant_id(nudged)
+
+
+def test_apply_overrides_rejects_unknown_primitive():
+    with pytest.raises(MachineError, match="no primitive"):
+        apply_overrides(t3d(4), {"prim.bogus.fixed": 1e-6})
+
+
+def test_apply_overrides_rejects_unknown_path():
+    with pytest.raises(MachineError, match="unknown override path"):
+        apply_overrides(t3d(4), {"net.color": 3})
+
+
+def test_apply_overrides_rejects_bad_values():
+    with pytest.raises(MachineError, match="finite"):
+        apply_overrides(t3d(4), {"net.latency": float("inf")})
+    with pytest.raises(MachineError, match="non-negative"):
+        apply_overrides(t3d(4), {"net.latency": -1.0})
+    with pytest.raises(MachineError, match="positive"):
+        apply_overrides(t3d(4), {"net.bandwidth": 0})
+    with pytest.raises(MachineError, match="integral"):
+        apply_overrides(t3d(4), {"prim.*.knee_bytes": 32.5})

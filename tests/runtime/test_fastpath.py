@@ -10,6 +10,8 @@ fallback and extrapolation edges.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
     ExecutionMode,
@@ -19,6 +21,7 @@ from repro import (
 )
 from repro.errors import RuntimeFault
 from repro.experiments_registry import EXPERIMENT_KEYS, experiment_spec
+from repro.machine import apply_overrides
 from repro.programs import BENCHMARKS, build_benchmark, small_config
 
 NPROCS = 16
@@ -203,3 +206,99 @@ class TestFastArgumentValidation:
         traced = simulate(program, machine, ExecutionMode.TIMING, trace_rank=0)
         assert traced.fastpath is None
         assert traced.trace is not None
+
+
+# ---------------------------------------------------------------------------
+# Swept-machine differential suite: the parity contract must hold not just
+# on the two calibrated machines but on every derived variant the sweep
+# layer can produce — network latencies/bandwidths and primitive-cost
+# fields (fixed, knee_bytes, per_byte_beyond, spread_penalty) included.
+# ---------------------------------------------------------------------------
+
+_pos_float = st.floats(
+    1e-8, 1e-4, allow_nan=False, allow_infinity=False, allow_subnormal=False
+)
+
+variant_overrides = st.fixed_dictionaries(
+    {},
+    optional={
+        "net.latency": _pos_float,
+        "net.bandwidth": st.floats(
+            1e6, 1e9, allow_nan=False, allow_infinity=False, allow_subnormal=False
+        ),
+        "net.raw_latency": _pos_float,
+        "prim.*.fixed": _pos_float,
+        "prim.*.knee_bytes": st.integers(16, 16384),
+        "prim.*.per_byte_beyond": st.floats(
+            0, 1e-6, allow_nan=False, allow_infinity=False, allow_subnormal=False
+        ),
+        "prim.*.spread_penalty": st.floats(
+            0, 1e-5, allow_nan=False, allow_infinity=False, allow_subnormal=False
+        ),
+    },
+)
+
+_PROGRAMS = {}
+
+
+def _steady_program(key):
+    """STEADY_SRC compiled under one experiment key's optimization config
+    (cached — compilation dominates otherwise)."""
+    if key not in _PROGRAMS:
+        _PROGRAMS[key] = compile_program(
+            STEADY_SRC, "steady.zl", opt=experiment_spec(key).opt
+        )
+    return _PROGRAMS[key]
+
+
+class TestSweptMachineParity:
+    """Compiled fast path stays bit-identical on derived variants."""
+
+    @given(
+        overrides=variant_overrides,
+        machine_name=st.sampled_from(["t3d", "paragon"]),
+        key=st.sampled_from(EXPERIMENT_KEYS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_variant_parity(self, overrides, machine_name, key):
+        base = machine_for(machine_name)(key)
+        machine = apply_overrides(base, overrides)
+        interp, fast = run_both(_steady_program(key), machine)
+        assert_parity(interp, fast)
+
+    def test_variant_differs_from_base(self):
+        """Sanity: the derived machine actually changes the simulation —
+        the differential suite is not comparing the base against itself."""
+        program = _steady_program("cc")
+        base = machine_by_name("t3d", NPROCS, "pvm")
+        variant = apply_overrides(
+            base, {"prim.*.knee_bytes": 8, "prim.*.per_byte_beyond": 1e-6}
+        )
+        t_base = simulate(program, base, ExecutionMode.TIMING).time
+        t_variant = simulate(program, variant, ExecutionMode.TIMING).time
+        assert t_base != t_variant
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"net.latency": 1e-6},
+            {"net.latency": 1e-4, "net.bandwidth": 5e6},
+            {"prim.*.knee_bytes": 32, "prim.*.per_byte_beyond": 1e-6},
+            {"prim.*.fixed": 8e-5, "prim.*.spread_penalty": 5e-6},
+        ],
+        ids=["low-lat", "slow-wire", "tight-knee", "heavy-sw"],
+    )
+    @pytest.mark.parametrize("machine_name", ["t3d", "paragon"])
+    @pytest.mark.parametrize("key", EXPERIMENT_KEYS)
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_full_matrix_variant_parity(
+        self, bench, key, machine_name, overrides
+    ):
+        """The full paper matrix on fixed representative variants — the
+        nightly/CI-only sweep of the parity contract."""
+        spec = experiment_spec(key)
+        program = build_benchmark(bench, config=small_config(bench), opt=spec.opt)
+        machine = apply_overrides(machine_for(machine_name)(key), overrides)
+        interp, fast = run_both(program, machine)
+        assert_parity(interp, fast)

@@ -134,3 +134,67 @@ class TestPrimVectors:
         )
         assert np.allclose(cums, [10e-6, 20e-6, 30e-6])
         assert vecs.total_sw_by_rank[4] == pytest.approx(30e-6)
+
+
+class TestCostModelCacheKeys:
+    """Plans are shared process-wide across machines by geometry, so the
+    per-plan cost caches must key on the full cost model — two variants
+    differing only in a primitive-cost field must not reuse vectors
+    (regression: these used to key on the primitive *name*)."""
+
+    def test_prim_vectors_distinguish_cost_fields(self):
+        from repro.machine.params import NetworkParams, PrimitiveCost
+
+        plan, _ = make_plan(Direction("east", (0, 1)), n=16)
+        net = NetworkParams(latency=1e-6, bandwidth=1e9)
+        cheap = PrimitiveCost("send", fixed=10e-6)
+        # same name and network, different knee/beyond
+        steep = PrimitiveCost(
+            "send", fixed=10e-6, knee_bytes=8, per_byte_beyond=1e-6
+        )
+        a = plan.prim_vectors(cheap, net)
+        b = plan.prim_vectors(steep, net)
+        assert a is not b
+        assert (b.cum_sw > a.cum_sw).all()
+
+    def test_prim_vectors_distinguish_network_params(self):
+        from repro.machine.params import NetworkParams, PrimitiveCost
+
+        plan, _ = make_plan(Direction("east", (0, 1)), n=16)
+        prim = PrimitiveCost("send", fixed=10e-6)
+        slow = plan.prim_vectors(prim, NetworkParams(latency=1e-4, bandwidth=1e6))
+        fast = plan.prim_vectors(prim, NetworkParams(latency=1e-6, bandwidth=1e9))
+        assert (slow.wire > fast.wire).all()
+
+    def test_recv_sw_distinguishes_cost_fields(self):
+        from repro.machine.params import PrimitiveCost
+
+        plan, _ = make_plan(Direction("east", (0, 1)), n=16)
+        cheap = PrimitiveCost("recv", fixed=10e-6)
+        steep = PrimitiveCost(
+            "recv", fixed=10e-6, knee_bytes=8, per_byte_beyond=1e-6
+        )
+        a = plan.recv_sw_by_rank(cheap)
+        b = plan.recv_sw_by_rank(steep)
+        receiving = a > 0
+        assert receiving.any()
+        assert (b[receiving] > a[receiving]).all()
+
+    def test_variant_times_differ_through_shared_plans(self):
+        """End to end: two simulations in one process, same geometry,
+        cost model moved between them — the shared plan cache must not
+        leak the first machine's costs into the second's times."""
+        from repro import ExecutionMode, OptimizationConfig, compile_program, simulate, t3d
+        from repro.machine import apply_overrides
+        from tests.conftest import MINI_SOURCE
+
+        program = compile_program(
+            MINI_SOURCE, "mini.zl", opt=OptimizationConfig.full()
+        )
+        base = t3d(4)
+        variant = apply_overrides(
+            base, {"prim.*.knee_bytes": 8, "prim.*.per_byte_beyond": 1e-5}
+        )
+        t_base = simulate(program, base, ExecutionMode.TIMING).time
+        t_variant = simulate(program, variant, ExecutionMode.TIMING).time
+        assert t_variant > t_base

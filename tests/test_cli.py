@@ -230,3 +230,94 @@ def test_experiments_no_cache_leaves_no_cache_dir(tmp_path, capsys):
         "--no-cache", "--cache-dir", str(cache_dir),
     ]) == 0
     assert not cache_dir.exists()
+
+
+# ---------------------------------------------------------------------------
+# sweep subcommand
+# ---------------------------------------------------------------------------
+
+SWEEP_SCALE = [
+    "--bench", "simple",
+    "--keys", "baseline", "cc",
+    "--nprocs", "4",
+    "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+    "--jobs", "2",
+]
+
+
+def test_sweep_smoke_and_golden(tmp_path, capsys):
+    import csv
+    import json
+
+    csv_path = tmp_path / "scaling.csv"
+    json_path = tmp_path / "scaling.json"
+    argv = [
+        "sweep", "--axis", "net.latency=1e-6,1e-4",
+        "--csv", str(csv_path), "--json", str(json_path),
+        "--cache-dir", str(tmp_path / "cache"),
+    ] + SWEEP_SCALE
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "sweep: 2 points x 2 cells" in out
+    assert "Scaling sweep" in out
+    assert "scaling CSV written" in out and "scaling JSON written" in out
+
+    with csv_path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == [
+        "net.latency", "benchmark", "experiment", "library", "variant",
+        "static", "dynamic", "time", "vs_baseline", "vs_prev",
+    ]
+    assert len(rows) == 5  # header + 2 points x 2 keys
+
+    doc = json.loads(json_path.read_text())
+    assert doc["schema"] == 1
+    assert doc["axes"] == [{"name": "net.latency", "values": [1e-6, 1e-4]}]
+    assert doc["keys"] == ["baseline", "cc"]
+    assert len(doc["rows"]) == 4
+
+
+def test_sweep_default_cache_reuses_results(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    argv = ["sweep", "--axis", "nprocs=2,4"] + SWEEP_SCALE + cache
+    assert main(argv) == 0
+    assert "4 cache hits" not in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "4 cells, 4 cache hits, 0 simulated" in capsys.readouterr().out
+
+
+def test_sweep_no_cache_reruns(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = (
+        ["sweep", "--axis", "nprocs=2,4", "--no-cache",
+         "--cache-dir", str(cache_dir)]
+        + SWEEP_SCALE
+    )
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hits, 4 simulated" in out
+    assert not cache_dir.exists()
+
+
+def test_sweep_bad_axis_exits_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="sweep:"):
+        main(["sweep", "--axis", "net.color=1,2"] + SWEEP_SCALE)
+    with pytest.raises(SystemExit, match="sweep:"):
+        main(["sweep", "--axis", "nprocs=0,4"] + SWEEP_SCALE)
+
+
+def test_sweep_nprocs_zero_exits_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="positive"):
+        main([
+            "sweep", "--axis", "net.latency=1e-6,1e-4",
+            "--bench", "simple", "--nprocs", "0",
+        ])
+
+
+def test_experiments_nprocs_zero_exits_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="positive"):
+        main([
+            "experiments", "--bench", "simple", "--nprocs", "0",
+            "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+            "--no-cache", "--cache-dir", str(tmp_path),
+        ])
