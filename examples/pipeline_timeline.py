@@ -11,7 +11,7 @@ the transfer, and the waits disappear.
 Run:  python examples/pipeline_timeline.py
 """
 
-from repro import ExecutionMode, OptimizationConfig, compile_program, simulate, t3d
+from repro import OptimizationConfig, SimOptions, compile_program, simulate, t3d
 from repro.analysis.timeline import render_timeline, summarize
 
 SOURCE = """
@@ -49,7 +49,7 @@ end;
 def show(title: str, opt: OptimizationConfig) -> float:
     program = compile_program(SOURCE, "pipe.zl", opt=opt)
     result = simulate(
-        program, t3d(16, "pvm"), ExecutionMode.TIMING, trace_rank=5
+        program, t3d(16, "pvm"), options=SimOptions.timing(trace_rank=5)
     )
     print(f"--- {title} ---  (processor 5, total "
           f"{result.clocks[5] * 1e6:.1f} us)")

@@ -102,7 +102,16 @@ from repro.frontend import analyze, parse
 from repro.ir import emit_c, lower
 from repro.machine import Machine, machine_by_name, paragon, t3d
 from repro.programs.common import compile_source as compile_program
-from repro.runtime import ExecutionMode, RunResult, reference_run, simulate
+from repro.runtime import (
+    BatchResult,
+    BatchRun,
+    ExecutionMode,
+    RunResult,
+    SimOptions,
+    reference_run,
+    simulate,
+    simulate_many,
+)
 
 __version__ = "1.0.0"
 
@@ -137,9 +146,13 @@ __all__ = [
     "machine_by_name",
     # execution
     "simulate",
+    "simulate_many",
     "reference_run",
     "ExecutionMode",
     "RunResult",
+    "BatchResult",
+    "BatchRun",
+    "SimOptions",
     # observability
     "obs",
     # errors

@@ -20,6 +20,10 @@ Commands
     per-job run records, ``--explain`` to append the per-pass
     attribution tables built from the pipeline telemetry).
 
+``experiments``, ``trace``, and ``sweep`` share one flag vocabulary:
+``--nprocs`` (``--procs`` stays as an alias), ``--set PATH=VALUE`` for
+machine-parameter overrides, and ``--no-fast-path``.
+
 ``passes``
     List the registered optimizer passes and their legality constraints;
     with ``--key KEY``, show the pass pipeline that experiment key
@@ -45,7 +49,9 @@ Commands
     run the benchmark x experiment matrix over every point through the
     cached engine; prints the scaling report with detected crossovers
     and optionally emits it (``--csv``/``--json``).  ``--set`` pins a
-    machine override at every point; see ``docs/SWEEPS.md``.
+    machine override at every point; cost-only sweeps evaluate through
+    the batched simulator by default (``--batched``/``--no-batched``
+    to force either path); see ``docs/SWEEPS.md``.
 
 ``figure6``
     Run the synthetic overhead benchmark and print the Figure 6 curves.
@@ -62,6 +68,7 @@ from repro import (
     ExecutionMode,
     MachineError,
     OptimizationConfig,
+    SimOptions,
     compile_program,
     emit_c,
     machine_by_name,
@@ -98,6 +105,61 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _parse_set(pairs):
+    try:
+        return parse_config_assignments(pairs)
+    except ValueError as exc:
+        raise SystemExit(f"--set: {exc}") from None
+
+
+def _sim_parent(nprocs_default):
+    """The simulation flags every study-running subcommand shares —
+    ``experiments``, ``trace``, and ``sweep`` spell them identically
+    (``--procs`` stays as a legacy alias for ``--nprocs``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--nprocs", "--procs", dest="nprocs", type=int,
+        default=nprocs_default, metavar="N",
+        help="processor count"
+        + (f" (default {nprocs_default})" if nprocs_default
+           else " (default: the machine's)"),
+    )
+    parent.add_argument(
+        "--set", action="append", metavar="PATH=VALUE",
+        help="machine-parameter override (e.g. prim.*.per_byte_beyond=1e-6; "
+        "repeatable)",
+    )
+    parent.add_argument(
+        "--no-fast-path", action="store_true",
+        help="force the interpreted simulator walk (results are "
+        "bit-identical; for debugging and speedup measurement)",
+    )
+    return parent
+
+
+def _engine_parent():
+    """The engine knobs ``experiments`` and ``sweep`` share."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the job matrix (default 1)",
+    )
+    parent.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (.repro-cache/)",
+    )
+    parent.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default .repro-cache/ "
+        "or $REPRO_CACHE_DIR)",
+    )
+    parent.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write per-job telemetry records as JSON",
+    )
+    return parent
 
 
 def cmd_compile(args) -> int:
@@ -137,10 +199,12 @@ def cmd_run(args) -> int:
 def cmd_experiments(args) -> int:
     benches = args.bench or list(BENCHMARKS)
     overrides = _parse_config(args.config)
+    pinned = _parse_set(args.set)
     try:
         results = run_study(
             benchmarks=benches,
-            nprocs=args.procs,
+            machine=MachineSpec.coerce(None, overrides=pinned or None),
+            nprocs=args.nprocs,
             config_overrides={b: overrides for b in benches} if overrides else None,
             fast=False if args.no_fast_path else None,
             jobs=args.jobs,
@@ -164,7 +228,7 @@ def cmd_experiments(args) -> int:
         print(
             format_table(
                 *fig.table_full(bench, results),
-                title=f"Table {i} — {bench} ({args.procs} processors)",
+                title=f"Table {i} — {bench} ({args.nprocs} processors)",
             )
         )
     if args.explain:
@@ -208,6 +272,13 @@ def cmd_passes(args) -> int:
 
 def cmd_trace(args) -> int:
     overrides = _parse_config(args.config)
+    pinned = _parse_set(args.set)
+    try:
+        mspec = MachineSpec.coerce(
+            args.machine, nprocs=args.nprocs, overrides=pinned or None
+        )
+    except MachineError as exc:
+        raise SystemExit(f"trace: {exc}") from None
     sinks = [obs.ChromeTraceSink(args.out)]
     if args.jsonl:
         sinks.append(obs.JsonlSink(args.jsonl))
@@ -218,8 +289,8 @@ def cmd_trace(args) -> int:
             # phase, optimizer pass, and cache counter lands in-process
             run_study(
                 benchmarks=(args.bench,),
-                nprocs=args.procs,
-                machine=args.machine,
+                nprocs=args.nprocs,
+                machine=mspec,
                 config_overrides={args.bench: overrides} if overrides else None,
                 fast=False if args.no_fast_path else None,
                 jobs=1,
@@ -231,7 +302,7 @@ def cmd_trace(args) -> int:
             job = Job.make(
                 benchmark=args.bench,
                 experiment=args.opt,
-                machine=MachineSpec(args.machine, args.procs),
+                machine=mspec,
                 config=overrides or None,
             )
             program = compile_program(
@@ -240,11 +311,11 @@ def cmd_trace(args) -> int:
                 config=job.merged_config(),
                 opt=spec.opt,
             )
-            machine = machine_by_name(args.machine, args.procs, spec.library)
+            machine = job.machine.build(spec.library)
             bridged = 0
-            for rank in range(min(args.ranks, args.procs)):
+            for rank in range(min(args.ranks, args.nprocs)):
                 result = simulate(
-                    program, machine, ExecutionMode.TIMING, trace_rank=rank
+                    program, machine, options=SimOptions.timing(trace_rank=rank)
                 )
                 bridged += obs.bridge_rank_trace(result.trace, rank=rank)
     finally:
@@ -257,8 +328,8 @@ def cmd_trace(args) -> int:
         print(f"event log written:  {args.jsonl}")
     print(f"engine cells:       {cache_hits + cache_misses} "
           f"({cache_hits} cache hits, {cache_misses} misses)")
-    print(f"bridged timelines:  {min(args.ranks, args.procs)} ranks, "
-          f"{bridged} events ({args.opt} on {args.machine}/{args.procs})")
+    print(f"bridged timelines:  {min(args.ranks, args.nprocs)} ranks, "
+          f"{bridged} events ({args.opt} on {args.machine}/{args.nprocs})")
     print(f"counters recorded:  {len(counters)}")
     return 0
 
@@ -330,10 +401,7 @@ def cmd_sweep(args) -> int:
     benches = args.bench or list(BENCHMARKS)
     keys = tuple(args.keys or EXPERIMENT_KEYS)
     config = _parse_config(args.config)
-    try:
-        pinned = parse_config_assignments(args.set)
-    except ValueError as exc:
-        raise SystemExit(f"--set: {exc}") from None
+    pinned = _parse_set(args.set)
     try:
         axes = parse_axes(args.axis)
         sweep = run_sweep(
@@ -345,6 +413,7 @@ def cmd_sweep(args) -> int:
             overrides=pinned or None,
             config_overrides={b: config for b in benches} if config else None,
             fast=False if args.no_fast_path else None,
+            batched=args.batched,
             jobs=args.jobs,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
@@ -403,26 +472,14 @@ def main(argv=None) -> int:
     p.add_argument("--numeric", action="store_true")
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("experiments", help="run the whole-program study")
+    p = sub.add_parser(
+        "experiments",
+        help="run the whole-program study",
+        parents=[_sim_parent(64), _engine_parent()],
+    )
     p.add_argument("--bench", action="append", choices=BENCHMARKS)
-    p.add_argument("--procs", "--nprocs", dest="procs", type=int, default=64,
-                   metavar="N", help="processor count (default 64; must be "
-                   "positive)")
     p.add_argument("--config", action="append", metavar="NAME=VALUE",
                    help="config override applied to every benchmark")
-    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
-                   help="worker processes for the job matrix (default 1)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="bypass the on-disk result cache (.repro-cache/)")
-    p.add_argument("--cache-dir", default=None, metavar="DIR",
-                   help="result cache directory (default .repro-cache/ "
-                   "or $REPRO_CACHE_DIR)")
-    p.add_argument("--telemetry", default=None, metavar="PATH",
-                   help="write per-job telemetry records as JSON")
-    p.add_argument("--no-fast-path", action="store_true",
-                   help="force the interpreted simulator walk "
-                        "(results are bit-identical; for debugging "
-                        "and speedup measurement)")
     p.add_argument("--explain", action="store_true",
                    help="append per-pass attribution tables (which pass "
                    "accounts for how much of each reduction)")
@@ -436,7 +493,9 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_passes)
 
     p = sub.add_parser(
-        "trace", help="run one benchmark's study with tracing on"
+        "trace",
+        help="run one benchmark's study with tracing on",
+        parents=[_sim_parent(64)],
     )
     p.add_argument("bench", choices=BENCHMARKS)
     p.add_argument("--out", required=True, metavar="PATH",
@@ -446,11 +505,7 @@ def main(argv=None) -> int:
     p.add_argument("--opt", default="pl", choices=EXPERIMENT_KEYS,
                    help="experiment key for the bridged per-rank timelines")
     p.add_argument("--machine", default="t3d")
-    p.add_argument("--procs", type=int, default=64)
     p.add_argument("--config", action="append", metavar="NAME=VALUE")
-    p.add_argument("--no-fast-path", action="store_true",
-                   help="force the interpreted walk for the study pass "
-                        "(per-rank trace replays always interpret)")
     p.add_argument("--ranks", type=_positive_int, default=4, metavar="N",
                    help="how many per-rank timelines to bridge (default 4)")
     p.set_defaults(func=cmd_trace)
@@ -478,6 +533,7 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "sweep",
         help="sweep machine/processor axes and report scaling crossovers",
+        parents=[_sim_parent(None), _engine_parent()],
     )
     p.add_argument("--axis", action="append", required=True,
                    metavar="NAME=V1,V2,...",
@@ -493,13 +549,11 @@ def main(argv=None) -> int:
     p.add_argument("--library", default=None,
                    help="communication library override (default: each "
                    "key's library)")
-    p.add_argument("--nprocs", "--procs", dest="nprocs", type=int,
-                   default=None, metavar="N",
-                   help="base processor count when no nprocs axis is given "
-                   "(default: the machine's)")
-    p.add_argument("--set", action="append", metavar="PATH=VALUE",
-                   help="machine override pinned at every sweep point "
-                   "(e.g. prim.*.per_byte_beyond=1e-6)")
+    p.add_argument("--batched", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="evaluate each cell's variants in one batched "
+                   "simulate_many call (default: auto when the axes are "
+                   "cost-only; --no-batched keeps the per-job path)")
     p.add_argument("--config", action="append", metavar="NAME=VALUE",
                    help="program config override applied to every benchmark")
     p.add_argument("--csv", default=None, metavar="PATH",
@@ -507,15 +561,6 @@ def main(argv=None) -> int:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the full scaling document (axes, rows, "
                    "crossovers) as JSON")
-    p.add_argument("--telemetry", default=None, metavar="PATH",
-                   help="write per-job telemetry records as JSON")
-    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
-                   help="worker processes for the job matrix (default 1)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="bypass the on-disk result cache (.repro-cache/)")
-    p.add_argument("--cache-dir", default=None, metavar="DIR")
-    p.add_argument("--no-fast-path", action="store_true",
-                   help="force the interpreted simulator walk")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")

@@ -292,15 +292,25 @@ def format_scaling_report(
     return "\n\n".join(parts)
 
 
+def _format_cell(value):
+    """Floats render as ``%.6g`` so CSV artifacts diff cleanly across
+    platforms; ints and strings pass through (full precision lives in
+    :func:`write_json`)."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return value
+
+
 def write_csv(path: Union[str, Path], sweep: SweepResult) -> Path:
     """The per-cell scaling table as CSV (header row + one row per
-    swept cell, floats in full ``repr`` precision)."""
+    swept cell, floats formatted ``%.6g``)."""
     path = Path(path)
     headers, rows = scaling_rows(sweep)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(headers)
-        writer.writerows(rows)
+        for row in rows:
+            writer.writerow([_format_cell(cell) for cell in row])
     return path
 
 

@@ -1,6 +1,7 @@
 """ASCII timeline rendering for traced simulations.
 
-``simulate(..., trace_rank=r)`` records processor ``r``'s full event
+``simulate(..., options=SimOptions.timing(trace_rank=r))`` records
+processor ``r``'s full event
 timeline; this module renders it as a Gantt strip — the picture behind
 the paper's pipelining argument: with ``pl`` off, sends sit right next
 to the waits they cause; with ``pl`` on, computation fills the gap and
@@ -8,7 +9,7 @@ the waits shrink.
 
 Example::
 
-    result = simulate(program, t3d(16), ExecutionMode.TIMING, trace_rank=5)
+    result = simulate(program, t3d(16), options=SimOptions.timing(trace_rank=5))
     print(render_timeline(result.trace, width=100))
 """
 

@@ -11,12 +11,16 @@ cacheable.  This package runs it that way:
 * :mod:`repro.engine.cache` — the on-disk JSON result cache under
   ``.repro-cache/`` that makes re-runs incremental;
 * :mod:`repro.engine.core` — :class:`ExperimentEngine` (cache lookup +
-  ``ProcessPoolExecutor`` fan-out) and the :func:`run_study` facade.
+  ``ProcessPoolExecutor`` fan-out) and the :func:`run_study` facade;
+* :mod:`repro.engine.batch` — cost-only variant matrices through one
+  :func:`repro.runtime.simulate_many` call per cell, records
+  interchangeable with the scalar worker's.
 
 See ``docs/ENGINE.md`` for the job-matrix model, cache keys, and the
 telemetry schema.
 """
 
+from repro.engine.batch import execute_cell_batched, run_jobs_batched
 from repro.engine.cache import (
     RECORD_SCHEMA,
     NullCache,
@@ -47,8 +51,10 @@ __all__ = [
     "build_matrix",
     "clear_compile_cache",
     "default_cache_root",
+    "execute_cell_batched",
     "execute_job",
     "load_telemetry",
+    "run_jobs_batched",
     "run_study",
     "source_sha",
 ]

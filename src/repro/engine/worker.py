@@ -41,7 +41,7 @@ from repro.ir.nodes import IRProgram
 from repro.obs import core as obs
 from repro.programs import benchmark_source
 from repro.programs.common import compile_source
-from repro.runtime import ExecutionMode, simulate
+from repro.runtime import ExecutionMode, SimOptions, simulate
 
 from repro.engine.cache import RECORD_SCHEMA
 from repro.engine.jobs import ConfigValue, Job, source_sha
@@ -153,7 +153,11 @@ def _execute_job(job: Job) -> dict:
         )
 
         t0 = time.perf_counter()
-        result = simulate(program, machine, ExecutionMode(job.mode), fast=job.fast)
+        result = simulate(
+            program,
+            machine,
+            options=SimOptions(mode=ExecutionMode(job.mode), fast=job.fast),
+        )
         simulate_s = time.perf_counter() - t0
 
     return {

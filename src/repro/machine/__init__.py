@@ -30,9 +30,12 @@ from repro.machine.params import (
 )
 from repro.machine.factories import paragon, square_ish_grid, t3d, machine_by_name
 from repro.machine.variants import (
+    PrimColumns,
+    VariantMatrix,
     apply_overrides,
     describe_overrides,
     normalize_overrides,
+    pack_variants,
     validate_override_path,
     variant_id,
 )
@@ -50,6 +53,9 @@ __all__ = [
     "apply_overrides",
     "describe_overrides",
     "normalize_overrides",
+    "pack_variants",
+    "PrimColumns",
+    "VariantMatrix",
     "validate_override_path",
     "variant_id",
 ]

@@ -39,18 +39,23 @@ import dataclasses
 import hashlib
 import json
 import math
-from typing import Dict, Mapping, Tuple, Union
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+import numpy as np
 
 from repro.errors import MachineError
-from repro.machine.params import Machine, PrimitiveCost
+from repro.machine.params import Machine, PrimitiveCost, SyncKind
 
 __all__ = [
     "NETWORK_FIELDS",
     "PRIMITIVE_FIELDS",
     "SCALAR_PATHS",
+    "PrimColumns",
+    "VariantMatrix",
     "apply_overrides",
     "describe_overrides",
     "normalize_overrides",
+    "pack_variants",
     "validate_override_path",
     "variant_id",
 ]
@@ -220,3 +225,139 @@ def apply_overrides(
         changes["primitives"] = primitives
 
     return dataclasses.replace(base, **changes)
+
+
+# ---------------------------------------------------------------------------
+# variant cost-matrix packing (the batched evaluator's parameter layout)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class PrimColumns:
+    """One primitive's cost fields across every variant.
+
+    Each array has shape ``(V,)`` — one row per variant, in
+    :func:`pack_variants` order.  The structural fields (``sync``,
+    ``raw_wire``) are required to agree across variants: they change the
+    *shape* of the dispatch, not its coefficients, so a batch can't mix
+    them.
+    """
+
+    name: str
+    sync: SyncKind
+    raw_wire: bool
+    fixed: np.ndarray
+    per_byte: np.ndarray
+    knee_bytes: np.ndarray
+    per_byte_beyond: np.ndarray
+    spread_penalty: np.ndarray
+    spread_cap: np.ndarray
+
+    def sw_matrix(self, nbytes: np.ndarray) -> np.ndarray:
+        """``(V, M)`` software cost of each message under each variant —
+        the batched :meth:`~repro.machine.params.PrimitiveCost.sw`, with
+        the same operation order so every entry is bit-identical to the
+        scalar call."""
+        extra = np.maximum(0, nbytes[None, :] - self.knee_bytes[:, None])
+        return (
+            self.fixed[:, None]
+            + self.per_byte[:, None] * nbytes[None, :]
+            + self.per_byte_beyond[:, None] * extra
+        )
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class VariantMatrix:
+    """A stack of cost-only machine variants as ``(V,)`` parameter
+    columns — the input layout of :func:`repro.simulate_many`.
+
+    Every variant must share the base machine's *shape*: name, processor
+    count, grid, library, binding, primitive set, and each primitive's
+    ``sync`` / ``raw_wire`` flags.  Only the numeric cost coefficients
+    may differ.
+    """
+
+    machines: Tuple[Machine, ...]
+    flop_time: np.ndarray
+    loop_overhead: np.ndarray
+    net_latency: np.ndarray
+    net_raw: np.ndarray
+    net_bandwidth: np.ndarray
+    #: full reduction-tree time at the machine's nprocs, per variant
+    reduction_time: np.ndarray
+    prims: Dict[str, PrimColumns]
+
+    @property
+    def base(self) -> Machine:
+        return self.machines[0]
+
+    @property
+    def nvariants(self) -> int:
+        return len(self.machines)
+
+
+def _require(cond: bool, what: str, index: int) -> None:
+    if not cond:
+        raise MachineError(
+            f"cannot pack variants: machine #{index} differs from the "
+            f"base in {what} — batched evaluation needs cost-only "
+            "variants (same name, nprocs, grid, library, binding, and "
+            "primitive structure)"
+        )
+
+
+def pack_variants(machines: Iterable[Machine]) -> VariantMatrix:
+    """Stack cost-only variants of one machine into parameter columns.
+
+    The first machine is the *base*; every other machine must be a
+    cost-only variant of it (same shape, see :class:`VariantMatrix`).
+    Raises :class:`MachineError` on any structural difference.
+    """
+    machines = tuple(machines)
+    if not machines:
+        raise MachineError("pack_variants needs at least one machine")
+    base = machines[0]
+    for i, m in enumerate(machines[1:], start=1):
+        _require(m.name == base.name, "name", i)
+        _require(m.nprocs == base.nprocs, "nprocs", i)
+        _require(m.grid_shape == base.grid_shape, "grid_shape", i)
+        _require(m.library == base.library, "library", i)
+        _require(m.binding.as_rows() == base.binding.as_rows(), "binding", i)
+        _require(
+            set(m.primitives) == set(base.primitives), "primitive set", i
+        )
+
+    def column(values, dtype=np.float64):
+        return np.array(values, dtype=dtype)
+
+    prims: Dict[str, PrimColumns] = {}
+    for name in sorted(set(base.primitives) | {"noop"}):
+        cols = [m.primitive(name) for m in machines]
+        head = cols[0]
+        for i, p in enumerate(cols[1:], start=1):
+            _require(p.sync is head.sync, f"prim.{name}.sync", i)
+            _require(p.raw_wire == head.raw_wire, f"prim.{name}.raw_wire", i)
+        prims[name] = PrimColumns(
+            name=name,
+            sync=head.sync,
+            raw_wire=head.raw_wire,
+            fixed=column([p.fixed for p in cols]),
+            per_byte=column([p.per_byte for p in cols]),
+            knee_bytes=column([p.knee_bytes for p in cols], dtype=np.int64),
+            per_byte_beyond=column([p.per_byte_beyond for p in cols]),
+            spread_penalty=column([p.spread_penalty for p in cols]),
+            spread_cap=column([p.spread_cap for p in cols]),
+        )
+
+    return VariantMatrix(
+        machines=machines,
+        flop_time=column([m.compute.flop_time for m in machines]),
+        loop_overhead=column([m.compute.loop_overhead for m in machines]),
+        net_latency=column([m.network.latency for m in machines]),
+        net_raw=column([m.network.raw for m in machines]),
+        net_bandwidth=column([m.network.bandwidth for m in machines]),
+        reduction_time=column(
+            [m.reduction.time(m.nprocs) for m in machines]
+        ),
+        prims=prims,
+    )

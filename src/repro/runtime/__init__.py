@@ -21,7 +21,18 @@ simulated :class:`~repro.machine.Machine`:
 Entry point: :func:`repro.runtime.executor.simulate`.
 """
 
+from repro.runtime.batch import BatchResult, BatchRun, simulate_many
 from repro.runtime.executor import ExecutionMode, RunResult, simulate
+from repro.runtime.options import SimOptions
 from repro.runtime.reference import reference_run
 
-__all__ = ["simulate", "RunResult", "ExecutionMode", "reference_run"]
+__all__ = [
+    "simulate",
+    "simulate_many",
+    "RunResult",
+    "BatchResult",
+    "BatchRun",
+    "SimOptions",
+    "ExecutionMode",
+    "reference_run",
+]

@@ -31,7 +31,7 @@ parameter for the escape hatch).
 
 from __future__ import annotations
 
-import enum
+import warnings as _warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -49,14 +49,10 @@ from repro.runtime.grid import ProcessorGrid
 from repro.runtime.instrument import Instrumentation
 from repro.runtime.interp import ParallelEvaluator, ScalarEvaluator
 from repro.runtime.layout import ProblemLayout
+from repro.runtime.options import ExecutionMode, SimOptions
 from repro.runtime.schedule import FastPathStats, compile_schedule
 from repro.runtime.timing import TimingEngine
 from repro.runtime.transfers import PlanCache, TransferPlan
-
-
-class ExecutionMode(enum.Enum):
-    NUMERIC = "numeric"
-    TIMING = "timing"
 
 
 @dataclass
@@ -363,13 +359,66 @@ def _resolve_fast(
     return bool(fast)
 
 
+#: Sentinel distinguishing "argument not passed" from an explicit value
+#: (``fast=None`` is a meaningful setting, so ``None`` can't mark absence).
+_UNSET = object()
+
+
+def _resolve_options(
+    options: Optional[SimOptions],
+    mode: object,
+    repeat_cap: object,
+    trace_rank: object,
+    fast: object,
+) -> SimOptions:
+    """Fold the legacy bare arguments and the options object into one
+    :class:`SimOptions`, warning on deprecated spellings."""
+    legacy = {
+        name: value
+        for name, value in (
+            ("repeat_cap", repeat_cap),
+            ("trace_rank", trace_rank),
+            ("fast", fast),
+        )
+        if value is not _UNSET
+    }
+    if options is not None:
+        if mode is not _UNSET or legacy:
+            passed = list(legacy)
+            if mode is not _UNSET:
+                passed.insert(0, "mode")
+            raise RuntimeFault(
+                "simulate() got options= together with "
+                + ", ".join(passed)
+                + " — put every setting on the SimOptions object"
+            )
+        return options
+    if legacy:
+        _warnings.warn(
+            "passing "
+            + ", ".join(sorted(legacy))
+            + " to simulate() directly is deprecated; pass "
+            "options=SimOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return SimOptions(
+        mode=mode if mode is not _UNSET else ExecutionMode.NUMERIC,
+        repeat_cap=legacy.get("repeat_cap"),
+        trace_rank=legacy.get("trace_rank"),
+        fast=legacy.get("fast"),
+    )
+
+
 def simulate(
     program: ir.IRProgram,
     machine: Machine,
-    mode: ExecutionMode = ExecutionMode.NUMERIC,
-    repeat_cap: Optional[int] = None,
-    trace_rank: Optional[int] = None,
-    fast: Optional[bool] = None,
+    mode: ExecutionMode = _UNSET,  # type: ignore[assignment]
+    repeat_cap: Optional[int] = _UNSET,  # type: ignore[assignment]
+    trace_rank: Optional[int] = _UNSET,  # type: ignore[assignment]
+    fast: Optional[bool] = _UNSET,  # type: ignore[assignment]
+    *,
+    options: Optional[SimOptions] = None,
 ) -> RunResult:
     """Run an optimized program on a simulated machine.
 
@@ -382,24 +431,38 @@ def simulate(
         tests that demonstrate why communication is needed).
     machine:
         From :func:`repro.machine.paragon` / :func:`repro.machine.t3d`.
-    mode:
-        NUMERIC (data + time) or TIMING (time and counts only).
-    repeat_cap:
-        Override for every ``repeat`` loop's trip cap.
-    trace_rank:
-        Record the full event timeline (compute/send/recv/wait/...) of
-        one processor; retrieve it as ``result.trace`` and render it with
-        :mod:`repro.analysis.timeline` or bridge it into a Perfetto
-        trace with :func:`repro.obs.bridge_rank_trace`.
-    fast:
-        Select the compiled TIMING fast path
-        (:mod:`repro.runtime.schedule`).  ``None`` (default) chooses it
-        automatically for TIMING runs without a ``trace_rank``; ``False``
-        forces the interpreted walk (the CLI's ``--no-fast-path``);
-        ``True`` demands it and raises if the mode can't support it.
-        Results are bit-identical either way.
+    options:
+        A :class:`~repro.runtime.options.SimOptions`; the single place
+        for every run-shaping setting:
+
+        ``mode``
+            NUMERIC (data + time) or TIMING (time and counts only).
+        ``repeat_cap``
+            Override for every ``repeat`` loop's trip cap.
+        ``trace_rank``
+            Record the full event timeline (compute/send/recv/wait/...)
+            of one processor; retrieve it as ``result.trace`` and render
+            it with :mod:`repro.analysis.timeline` or bridge it into a
+            Perfetto trace with :func:`repro.obs.bridge_rank_trace`.
+        ``fast``
+            Select the compiled TIMING fast path
+            (:mod:`repro.runtime.schedule`).  ``None`` (default) chooses
+            it automatically for TIMING runs without a ``trace_rank``;
+            ``False`` forces the interpreted walk (the CLI's
+            ``--no-fast-path``); ``True`` demands it and raises if the
+            mode can't support it.  Results are bit-identical either
+            way.
+
+    The historical spellings — positional ``mode`` and the bare
+    ``repeat_cap`` / ``trace_rank`` / ``fast`` keywords — still work for
+    one release; the bare keywords emit a :class:`DeprecationWarning`.
+    Mixing them with ``options=`` raises.
     """
-    use_fast = _resolve_fast(fast, mode, trace_rank)
+    opts = _resolve_options(options, mode, repeat_cap, trace_rank, fast)
+    mode = opts.mode
+    repeat_cap = opts.repeat_cap
+    trace_rank = opts.trace_rank
+    use_fast = _resolve_fast(opts.fast, mode, trace_rank)
     with obs.span(
         "simulate",
         program=program.name,

@@ -256,6 +256,24 @@ class _Runner:
         )
         return (t.clock.tobytes(), inflight, dr, env)
 
+    def _replay_pattern(self, pattern: List, k: int) -> None:
+        """Replay ``k`` copies of a recorded epoch-advance pattern, one
+        advance at a time (logs when the engine's log is active)."""
+        timing = self.timing
+        for _ in range(k):
+            for c in pattern:
+                timing.advance_epoch(c)
+
+    def _replay_pattern_bulk(self, pattern: List, k: int) -> None:
+        """Replay ``k`` copies with the log off; a uniform pattern
+        collapses into one coalesced advance (bit-identical to stepping
+        thanks to the engine's run-length epoch fold)."""
+        first = pattern[0]
+        if all(c == first for c in pattern):
+            self.timing.advance_epoch(first, k * len(pattern))
+        else:
+            self._replay_pattern(pattern, k)
+
     def extrapolate(self, k: int, snap: _Snapshot) -> None:
         """Apply ``k`` more copies of the iteration that ran since
         ``snap`` in closed form."""
@@ -265,19 +283,11 @@ class _Runner:
         if pattern:
             if self.monitor_depth >= 2:
                 # an enclosing monitor is recording: log every advance
-                for _ in range(k):
-                    for c in pattern:
-                        timing.advance_epoch(c)
+                self._replay_pattern(pattern, k)
             else:
                 saved = timing._epoch_log
                 timing._epoch_log = None
-                first = pattern[0]
-                if all(c == first for c in pattern):
-                    timing.advance_epoch(first, k * len(pattern))
-                else:
-                    for _ in range(k):
-                        for c in pattern:
-                            timing.advance_epoch(c)
+                self._replay_pattern_bulk(pattern, k)
                 timing._epoch_log = saved
         for current, ref in (
             (inst.dynamic_comms, snap.dynamic),
@@ -482,15 +492,18 @@ class _Lowerer:
         self.machine = sim.machine
         self.scalars = sim.scalars
         self.reduce_hook = sim.scalar_eval.reduce_hook
-        self.runner = _Runner(
-            sim.timing, sim.instrument, sim.scalars, sim.repeat_cap
-        )
+        self.runner = self._make_runner(sim)
         self._comm_dispatch = {
             CallKind.SR: self.timing._do_send,
             CallKind.DN: self.timing._do_complete,
             CallKind.DR: self.timing._do_pre,
             CallKind.SV: self.timing._do_volatile,
         }
+
+    def _make_runner(self, sim) -> _Runner:
+        """Hook for subclasses that pair the lowerer with a different
+        runner (the batched evaluator's `_BatchRunner`)."""
+        return _Runner(sim.timing, sim.instrument, sim.scalars, sim.repeat_cap)
 
     def lower_body(self, body: List[ir.IRStmt]) -> List[Callable[[], None]]:
         ops: List[Callable[[], None]] = []

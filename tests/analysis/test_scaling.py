@@ -143,10 +143,30 @@ class TestEmission:
         headers, rows = scaling_rows(knee_sweep)
         assert got[0] == headers
         assert len(got) == 1 + len(rows)
-        # numeric fidelity: times survive the round trip
+        # floats are emitted as %.6g (full precision lives in the JSON)
         time_col = headers.index("time")
         for text_row, row in zip(got[1:], rows):
-            assert float(text_row[time_col]) == row[time_col]
+            assert text_row[time_col] == f"{row[time_col]:.6g}"
+
+    def test_csv_golden_formatting(self, knee_sweep, tmp_path):
+        """Every float cell renders as %.6g — byte-stable across
+        platforms; ints and strings pass through untouched."""
+        path = write_csv(tmp_path / "scaling.csv", knee_sweep)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == (
+            "prim.*.per_byte_beyond,benchmark,experiment,library,variant,"
+            "static,dynamic,time,vs_baseline,vs_prev"
+        )
+        for line in lines[1:]:
+            cells = line.split(",")
+            # axis coordinate and time both pass through %.6g
+            assert cells[0] == f"{float(cells[0]):.6g}"
+            assert cells[7] == f"{float(cells[7]):.6g}"
+            # counts stay bare integers (no float formatting applied)
+            assert cells[5].isdigit() and cells[6].isdigit()
+            # a %.6g artifact never carries >6 significant digits
+            mantissa = cells[7].split("e")[0].replace(".", "")
+            assert len(mantissa.lstrip("-").lstrip("0")) <= 6
 
     def test_json_schema(self, knee_sweep, tmp_path):
         path = write_json(tmp_path / "scaling.json", knee_sweep)

@@ -6,6 +6,7 @@ import pytest
 from repro import (
     ExecutionMode,
     OptimizationConfig,
+    SimOptions,
     compile_program,
     reference_run,
     simulate,
@@ -180,7 +181,7 @@ class TestControlFlow:
         end;
         """
         prog = compile_program(src, "p.zl")
-        res = simulate(prog, t3d(1), ExecutionMode.NUMERIC, repeat_cap=5)
+        res = simulate(prog, t3d(1), options=SimOptions.numeric(repeat_cap=5))
         assert res.scalars["s"] == 5.0
         assert any("capped" in w for w in res.warnings)
 

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro import (
     ExecutionMode,
+    SimOptions,
     compile_program,
     machine_by_name,
     simulate,
@@ -29,8 +30,8 @@ NPROCS = 16
 
 def run_both(program, machine, **kwargs):
     """One interpreted run, one compiled run; the pair to compare."""
-    interp = simulate(program, machine, ExecutionMode.TIMING, fast=False, **kwargs)
-    fast = simulate(program, machine, ExecutionMode.TIMING, fast=True, **kwargs)
+    interp = simulate(program, machine, options=SimOptions.timing(fast=False, **kwargs))
+    fast = simulate(program, machine, options=SimOptions.timing(fast=True, **kwargs))
     assert interp.fastpath is None
     assert fast.fastpath is not None
     return interp, fast
@@ -184,14 +185,18 @@ class TestFastArgumentValidation:
         program = compile_program(STEADY_SRC, "steady.zl")
         machine = machine_by_name("t3d", 4, "pvm")
         with pytest.raises(RuntimeFault, match="TIMING"):
-            simulate(program, machine, ExecutionMode.NUMERIC, fast=True)
+            simulate(
+                program,
+                machine,
+                options=SimOptions(mode=ExecutionMode.NUMERIC, fast=True),
+            )
 
     def test_trace_rank_rejected(self):
         program = compile_program(STEADY_SRC, "steady.zl")
         machine = machine_by_name("t3d", 4, "pvm")
         with pytest.raises(RuntimeFault, match="trace"):
             simulate(
-                program, machine, ExecutionMode.TIMING, fast=True, trace_rank=0
+                program, machine, options=SimOptions.timing(fast=True, trace_rank=0)
             )
 
     def test_auto_selects_fast_for_timing(self):
@@ -203,7 +208,7 @@ class TestFastArgumentValidation:
     def test_auto_interprets_when_tracing(self):
         program = compile_program(STEADY_SRC, "steady.zl")
         machine = machine_by_name("t3d", 4, "pvm")
-        traced = simulate(program, machine, ExecutionMode.TIMING, trace_rank=0)
+        traced = simulate(program, machine, options=SimOptions.timing(trace_rank=0))
         assert traced.fastpath is None
         assert traced.trace is not None
 

@@ -1,0 +1,158 @@
+"""The unified ``SimOptions`` API and its one-release deprecation shim.
+
+``simulate`` historically took ``repeat_cap`` / ``trace_rank`` / ``fast``
+as bare keywords.  Those spellings still work for one release but warn;
+``options=SimOptions(...)`` is the supported form, and mixing the two is
+an error (a silent precedence rule would hide bugs).
+"""
+
+import warnings
+
+import pytest
+
+from repro import (
+    ExecutionMode,
+    SimOptions,
+    compile_program,
+    simulate,
+    t3d,
+)
+from repro.errors import RuntimeFault
+
+SRC = """
+program opts;
+config n : integer = 8;
+region R  = [1..n, 1..n];
+region In = [2..n-1, 2..n-1];
+direction east = [0, 1];
+var A, B : [R] double;
+var s : double;
+procedure main();
+begin
+  [R] A := index1 + index2;
+  repeat
+    [In] B := A@east;
+    [In] A := A + B * 0.1;
+    [In] s := +<< A;
+  until s > 1.0e30;
+end;
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_program(SRC, "opts.zl")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return t3d(4, "pvm")
+
+
+class TestSimOptions:
+    def test_defaults(self):
+        opts = SimOptions()
+        assert opts.mode is ExecutionMode.NUMERIC
+        assert opts.repeat_cap is None
+        assert opts.trace_rank is None
+        assert opts.fast is None
+
+    def test_string_mode_coerced(self):
+        assert SimOptions(mode="timing").mode is ExecutionMode.TIMING
+        assert SimOptions(mode="numeric").mode is ExecutionMode.NUMERIC
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimOptions(mode="warp")
+
+    def test_constructors(self):
+        t = SimOptions.timing(repeat_cap=7, fast=True)
+        assert t.mode is ExecutionMode.TIMING
+        assert t.repeat_cap == 7
+        assert t.fast is True
+        n = SimOptions.numeric(trace_rank=2)
+        assert n.mode is ExecutionMode.NUMERIC
+        assert n.trace_rank == 2
+
+    def test_frozen(self):
+        opts = SimOptions()
+        with pytest.raises(Exception):
+            opts.repeat_cap = 3
+
+
+class TestDeprecationShim:
+    def test_bare_repeat_cap_warns_and_works(self, program, machine):
+        with pytest.warns(DeprecationWarning, match="repeat_cap"):
+            legacy = simulate(program, machine, repeat_cap=5)
+        modern = simulate(program, machine, options=SimOptions.numeric(repeat_cap=5))
+        assert legacy.warnings == modern.warnings
+        assert any("capped" in w for w in modern.warnings)
+
+    def test_bare_trace_rank_warns_and_works(self, program, machine):
+        with pytest.warns(DeprecationWarning, match="trace_rank"):
+            legacy = simulate(
+                program, machine, ExecutionMode.TIMING, trace_rank=0, repeat_cap=5
+            )
+        assert legacy.trace is not None
+        modern = simulate(
+            program,
+            machine,
+            options=SimOptions.timing(trace_rank=0, repeat_cap=5),
+        )
+        assert legacy.time == modern.time
+
+    def test_bare_fast_warns(self, program, machine):
+        with pytest.warns(DeprecationWarning, match="fast"):
+            legacy = simulate(
+                program, machine, ExecutionMode.TIMING, fast=False, repeat_cap=5
+            )
+        assert legacy.fastpath is None
+
+    def test_positional_mode_is_silent(self, program, machine):
+        """Positional mode is NOT deprecated — only the bare keywords."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            res = simulate(
+                program,
+                machine,
+                ExecutionMode.TIMING,
+                options=None,
+            )
+        assert res.time > 0.0
+
+    def test_options_path_is_silent(self, program, machine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate(program, machine, options=SimOptions.timing(repeat_cap=5))
+
+    def test_mixing_options_and_legacy_raises(self, program, machine):
+        with pytest.raises(RuntimeFault, match="repeat_cap"):
+            simulate(
+                program,
+                machine,
+                options=SimOptions.timing(),
+                repeat_cap=5,
+            )
+
+    def test_mixing_options_and_mode_raises(self, program, machine):
+        with pytest.raises(RuntimeFault, match="mode"):
+            simulate(
+                program,
+                machine,
+                ExecutionMode.TIMING,
+                options=SimOptions.timing(),
+            )
+
+    def test_options_equivalent_to_legacy(self, program, machine):
+        with pytest.warns(DeprecationWarning):
+            legacy = simulate(
+                program, machine, ExecutionMode.TIMING, repeat_cap=8, fast=True
+            )
+        modern = simulate(
+            program,
+            machine,
+            options=SimOptions.timing(repeat_cap=8, fast=True),
+        )
+        assert legacy.time == modern.time
+        assert legacy.warnings == modern.warnings
+        assert legacy.dynamic_comm_count == modern.dynamic_comm_count

@@ -212,3 +212,83 @@ class TestRunSweep:
     def test_needs_at_least_one_axis(self, tmp_path):
         with pytest.raises(MachineError, match="at least one axis"):
             run_sweep(axes=[], benchmarks="simple")
+
+
+# ---------------------------------------------------------------------------
+# batched routing: cost-only sweeps go through simulate_many
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedRouting:
+    def test_cost_only_sweep_batches_by_default(self, tmp_path):
+        sweep = _sweep(tmp_path)
+        assert all(o.record.get("batched") for o in sweep.outcomes)
+
+    def test_batched_false_keeps_per_job_path(self, tmp_path):
+        sweep = _sweep(tmp_path, batched=False)
+        assert not any(o.record.get("batched") for o in sweep.outcomes)
+
+    def test_nprocs_axis_falls_back(self, tmp_path):
+        sweep = _sweep(tmp_path, axes=[SweepAxis("nprocs", (2, 4))])
+        assert not any(o.record.get("batched") for o in sweep.outcomes)
+
+    def test_single_point_falls_back(self, tmp_path):
+        sweep = _sweep(tmp_path, axes=[SweepAxis("net.latency", (1e-6,))])
+        assert not any(o.record.get("batched") for o in sweep.outcomes)
+
+    def test_forced_batched_with_nprocs_axis_raises(self, tmp_path):
+        with pytest.raises(MachineError, match="nprocs"):
+            _sweep(tmp_path, axes=[SweepAxis("nprocs", (2, 4))], batched=True)
+
+    def test_forced_batched_with_numeric_mode_raises(self, tmp_path):
+        with pytest.raises(MachineError, match="TIMING"):
+            _sweep(tmp_path, mode="numeric", batched=True)
+
+    def test_forced_batched_with_fast_false_raises(self, tmp_path):
+        with pytest.raises(MachineError, match="fast"):
+            _sweep(tmp_path, fast=False, batched=True)
+
+    def test_numeric_mode_falls_back(self, tmp_path):
+        sweep = _sweep(tmp_path, mode="numeric")
+        assert not any(o.record.get("batched") for o in sweep.outcomes)
+
+    def test_batched_matches_per_job_bitwise(self, tmp_path):
+        batched = _sweep(tmp_path, cache_dir=tmp_path / "a", batched=True)
+        scalar = _sweep(tmp_path, cache_dir=tmp_path / "b", batched=False)
+        assert batched.cells == scalar.cells
+        for a, b in zip(batched.outcomes, scalar.outcomes):
+            assert a.job == b.job
+            assert a.result == b.result
+            ra, rb = a.record["result"], b.record["result"]
+            assert ra["execution_time"] == rb["execution_time"]
+            assert ra["total_messages"] == rb["total_messages"]
+            assert ra["total_bytes"] == rb["total_bytes"]
+            assert ra["warnings"] == rb["warnings"]
+
+    def test_cache_interop_batched_then_scalar(self, tmp_path):
+        cold = _sweep(tmp_path, batched=True)
+        assert cold.cache_hits == 0
+        warm = _sweep(tmp_path, batched=False)
+        assert warm.cache_hits == warm.cells
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert a.result.execution_time == b.result.execution_time
+
+    def test_cache_interop_scalar_then_batched(self, tmp_path):
+        cold = _sweep(tmp_path, batched=False)
+        assert cold.cache_hits == 0
+        warm = _sweep(tmp_path, batched=True)
+        assert warm.cache_hits == warm.cells
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert a.result.execution_time == b.result.execution_time
+
+    def test_growing_an_axis_batches_only_new_points(self, tmp_path):
+        _sweep(tmp_path, batched=True)
+        grown = _sweep(
+            tmp_path,
+            axes=[SweepAxis("net.latency", (1e-6, 1e-4, 1e-3))],
+            batched=True,
+        )
+        assert grown.cells == 6
+        assert grown.cache_hits == 4
+        fresh = [o for o in grown.outcomes if not o.cached]
+        assert all(o.record.get("batched") for o in fresh)

@@ -321,3 +321,63 @@ def test_experiments_nprocs_zero_exits_cleanly(tmp_path):
             "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
             "--no-cache", "--cache-dir", str(tmp_path),
         ])
+
+
+# ---------------------------------------------------------------------------
+# unified flags: --set / --nprocs / --batched across subcommands
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_batched_flags(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path / "a")]
+    argv = ["sweep", "--axis", "net.latency=1e-6,1e-4", "--batched"]
+    assert main(argv + SWEEP_SCALE + cache) == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out
+    cache = ["--cache-dir", str(tmp_path / "b")]
+    argv = ["sweep", "--axis", "net.latency=1e-6,1e-4", "--no-batched"]
+    assert main(argv + SWEEP_SCALE + cache) == 0
+    assert "4 cells" in capsys.readouterr().out
+
+
+def test_sweep_batched_with_nprocs_axis_exits_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="sweep:.*nprocs"):
+        main(
+            ["sweep", "--axis", "nprocs=2,4", "--batched",
+             "--cache-dir", str(tmp_path / "cache")]
+            + SWEEP_SCALE
+        )
+
+
+def test_experiments_set_override_moves_times(tmp_path, capsys):
+    base = [
+        "experiments", "--bench", "simple", "--nprocs", "4",
+        "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+        "--no-cache", "--cache-dir", str(tmp_path),
+    ]
+    assert main(base) == 0
+    plain = capsys.readouterr().out
+    assert main(base + ["--set", "net.latency=0.01"]) == 0
+    slowed = capsys.readouterr().out
+    assert plain != slowed
+
+
+def test_experiments_bad_set_exits_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="--set"):
+        main([
+            "experiments", "--bench", "simple",
+            "--set", "net.latency:0.01",
+        ])
+
+
+def test_trace_accepts_set_and_nprocs(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    argv = [
+        "trace", "simple", "--out", str(out),
+        "--nprocs", "4", "--ranks", "1",
+        "--set", "net.latency=1e-5",
+        "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+    ]
+    assert main(argv) == 0
+    assert out.exists()
+    assert "bridged timelines:  1 ranks" in capsys.readouterr().out
