@@ -1,22 +1,28 @@
 """Engine cache effectiveness: warm re-runs must be >= 3x faster.
 
-Runs a reduced-scale whole-program study twice against a fresh cache
-directory: the cold pass compiles and simulates every cell, the warm
-pass serves every cell from the on-disk result cache.  Asserts the
-ISSUE/acceptance bar (warm at least 3x faster than cold — in practice
-it is orders of magnitude) and that the cached results are *identical*
-to the freshly computed ones, then benchmarks the warm path.
+Runs a reduced-scale whole-program study twice against a fresh store:
+the cold pass compiles and simulates every cell, the warm pass serves
+every cell from the result cache.  Asserts the ISSUE/acceptance bar
+(warm at least 3x faster than cold — in practice it is orders of
+magnitude) and that the cached results are *identical* to the freshly
+computed ones, then benchmarks the warm path.
+
+Parametrized over the dir and sqlite backends, so the shared-store
+backend's read path is held to the same bar as the historical
+directory layout.
 """
 
 from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro import run_study
 from repro.programs import BENCHMARKS, small_config
 
 
-def _study_kwargs(cache_dir):
+def _study_kwargs(cache_dir, backend):
     overrides = {name: small_config(name) for name in BENCHMARKS}
     # enough work that the cold pass dwarfs cache bookkeeping
     overrides["swm"].update(nsteps=20)
@@ -26,10 +32,12 @@ def _study_kwargs(cache_dir):
         nprocs=16,
         config_overrides=overrides,
         cache_dir=cache_dir,
+        cache_backend=backend,
     )
 
-def test_engine_cache_speedup(benchmark, tmp_path):
-    kwargs = _study_kwargs(tmp_path / "cache")
+@pytest.mark.parametrize("backend", ("dir", "sqlite"))
+def test_engine_cache_speedup(benchmark, tmp_path, backend):
+    kwargs = _study_kwargs(tmp_path / "cache", backend)
 
     t0 = time.perf_counter()
     cold = run_study(**kwargs)

@@ -53,6 +53,22 @@ machine-parameter overrides, and ``--no-fast-path``.
     the batched simulator by default (``--batched``/``--no-batched``
     to force either path); see ``docs/SWEEPS.md``.
 
+``cache``
+    Inspect and maintain a result-cache backend: ``cache stats`` prints
+    the entry/byte totals and per-schema census, ``cache prune`` removes
+    entries by age (``--older-than 7d``) and/or stored schema version
+    (``--schema N``), and ``cache serve`` exposes the backend over HTTP
+    so other hosts can reach it with ``--cache-backend http``.  All
+    three honor the shared ``--cache-dir``/``--cache-backend``/
+    ``--cache-url`` flags.
+
+``serve``
+    Run the asyncio study/sweep service (``POST /v1/study``,
+    ``POST /v1/sweep``): identical in-flight submissions dedup onto one
+    execution, finished work is served from the configured cache
+    backend, and cost-only sweeps batch through the vectorized
+    simulator; see ``docs/ENGINE.md``.
+
 ``figure6``
     Run the synthetic overhead benchmark and print the Figure 6 curves.
 """
@@ -82,7 +98,7 @@ from repro.analysis import attribution as attr
 from repro.analysis import figures as fig
 from repro.analysis import scaling
 from repro.comm import registered_passes
-from repro.engine import Job, MachineSpec
+from repro.engine import BACKEND_KINDS, DISPATCHER_KINDS, Job, MachineSpec
 from repro.errors import ExperimentError
 from repro.frontend import parse_config_assignments
 from repro.programs import BENCHMARKS, benchmark_source
@@ -139,27 +155,75 @@ def _sim_parent(nprocs_default):
     return parent
 
 
+def _cache_parent():
+    """The cache-backend selection flags (``experiments``, ``sweep``,
+    ``cache``, ``serve``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default .repro-cache/ or "
+        "$REPRO_CACHE_DIR; the sqlite backend stores cache.sqlite there)",
+    )
+    parent.add_argument(
+        "--cache-backend", default=None, metavar="KIND",
+        choices=BACKEND_KINDS,
+        help="cache storage backend: dir (default), sqlite, http, null "
+        "(a set $REPRO_CACHE_URL implies http)",
+    )
+    parent.add_argument(
+        "--cache-url", default=None, metavar="URL",
+        help="base URL for the http backend (default $REPRO_CACHE_URL); "
+        "start one with `repro cache serve`",
+    )
+    return parent
+
+
 def _engine_parent():
     """The engine knobs ``experiments`` and ``sweep`` share."""
-    parent = argparse.ArgumentParser(add_help=False)
+    parent = argparse.ArgumentParser(add_help=False, parents=[_cache_parent()])
     parent.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
         help="worker processes for the job matrix (default 1)",
     )
     parent.add_argument(
         "--no-cache", action="store_true",
-        help="bypass the on-disk result cache (.repro-cache/)",
+        help="bypass the result cache entirely",
     )
     parent.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="result cache directory (default .repro-cache/ "
-        "or $REPRO_CACHE_DIR)",
+        "--dispatch", default=None, choices=DISPATCHER_KINDS,
+        help="execution strategy for cache misses: local (default) or "
+        "sharded (work-stealing shards with per-job retry); results are "
+        "bit-identical",
+    )
+    parent.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="N",
+        help="shard count for --dispatch sharded (default 4 x jobs)",
     )
     parent.add_argument(
         "--telemetry", default=None, metavar="PATH",
         help="write per-job telemetry records as JSON",
     )
     return parent
+
+
+def _engine_kwargs(args) -> dict:
+    """Resolve the shared engine flags into ``run_study``/``run_sweep``
+    keyword arguments."""
+    dispatcher = args.dispatch
+    if args.shards is not None:
+        if dispatcher != "sharded":
+            raise SystemExit("--shards requires --dispatch sharded")
+        from repro.engine import ShardedDispatcher
+
+        dispatcher = ShardedDispatcher(workers=args.jobs, shards=args.shards)
+    return {
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+        "cache_dir": args.cache_dir,
+        "cache_backend": args.cache_backend,
+        "cache_url": args.cache_url,
+        "dispatcher": dispatcher,
+    }
 
 
 def cmd_compile(args) -> int:
@@ -207,12 +271,10 @@ def cmd_experiments(args) -> int:
             nprocs=args.nprocs,
             config_overrides={b: overrides for b in benches} if overrides else None,
             fast=False if args.no_fast_path else None,
-            jobs=args.jobs,
-            cache=not args.no_cache,
-            cache_dir=args.cache_dir,
             telemetry=args.telemetry,
+            **_engine_kwargs(args),
         )
-    except MachineError as exc:
+    except (MachineError, ExperimentError) as exc:
         raise SystemExit(f"experiments: {exc}") from None
     print(format_table(*fig.figure8_counts(results), title="Figure 8 — comm count reduction (scaled to baseline)"))
     print()
@@ -414,10 +476,8 @@ def cmd_sweep(args) -> int:
             config_overrides={b: config for b in benches} if config else None,
             fast=False if args.no_fast_path else None,
             batched=args.batched,
-            jobs=args.jobs,
-            cache=not args.no_cache,
-            cache_dir=args.cache_dir,
             telemetry=args.telemetry,
+            **_engine_kwargs(args),
         )
     except (MachineError, ExperimentError) as exc:
         raise SystemExit(f"sweep: {exc}") from None
@@ -439,6 +499,104 @@ def cmd_sweep(args) -> int:
             "scaling JSON written: "
             f"{scaling.write_json(args.json, sweep, crossovers)}"
         )
+    return 0
+
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _duration(text: str) -> float:
+    """An age in seconds: a plain number, or one with an s/m/h/d suffix
+    (``--older-than 7d``)."""
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw and raw[-1] in _DURATION_UNITS:
+        scale = _DURATION_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a duration (use e.g. 90, 30m, 12h, 7d)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"duration must be >= 0, got {text!r}")
+    return value
+
+
+def _cache_backend(args):
+    from repro.engine import make_cache
+
+    try:
+        return make_cache(
+            True,
+            args.cache_dir,
+            backend=args.cache_backend,
+            url=args.cache_url,
+        )
+    except ExperimentError as exc:
+        raise SystemExit(f"cache: {exc}") from None
+
+
+def cmd_cache_stats(args) -> int:
+    print(_cache_backend(args).stats().describe())
+    return 0
+
+
+def cmd_cache_prune(args) -> int:
+    if args.older_than is None and args.schema is None and not args.all:
+        raise SystemExit(
+            "cache prune: pass --older-than and/or --schema, or --all to "
+            "empty the store"
+        )
+    backend = _cache_backend(args)
+    removed = backend.prune(older_than=args.older_than, schema=args.schema)
+    where = backend.describe()["location"]
+    print(f"pruned {removed} records from {backend.kind} backend at {where}")
+    return 0
+
+
+def cmd_cache_serve(args) -> int:
+    from repro.engine import CacheServer
+
+    backend = _cache_backend(args)
+    if backend.kind == "http":
+        raise SystemExit(
+            "cache serve: pick a storage backend to serve (dir or sqlite), "
+            "not the http client"
+        )
+    obs.configure(obs.MemorySink())  # live counters for the obs registry
+    server = CacheServer(backend, host=args.host, port=args.port)
+    print(f"cache server listening on {server.url}")
+    print(f"backing store: {backend.stats().describe()}")
+    print(f"point clients at it with --cache-backend http --cache-url {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import ReproServer, ServeApp
+
+    try:
+        app = ServeApp(**_engine_kwargs(args))
+    except ExperimentError as exc:
+        raise SystemExit(f"serve: {exc}") from None
+    # a live in-memory sink so GET /stats reports the serve.* and
+    # cache.backend.* counters without any tracing flags
+    obs.configure(obs.MemorySink())
+    server = ReproServer(app, host=args.host, port=args.port).start()
+    print(f"repro serve listening on {server.url}")
+    print(f"cache: {app.cache_info['backend']} at {app.cache_info['location']}")
+    print("routes: GET /healthz | GET /stats | POST /v1/study | POST /v1/sweep")
+    try:
+        server._thread.join()
+    except KeyboardInterrupt:
+        server.close()
     return 0
 
 
@@ -562,6 +720,49 @@ def main(argv=None) -> int:
                    help="write the full scaling document (axes, rows, "
                    "crossovers) as JSON")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "cache", help="inspect and maintain a result-cache backend"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    pc = cache_sub.add_parser(
+        "stats", help="entry/byte totals and per-schema census",
+        parents=[_cache_parent()],
+    )
+    pc.set_defaults(func=cmd_cache_stats)
+
+    pc = cache_sub.add_parser(
+        "prune", help="remove entries by age and/or schema version",
+        parents=[_cache_parent()],
+    )
+    pc.add_argument("--older-than", type=_duration, default=None,
+                    metavar="AGE",
+                    help="remove entries older than AGE (90, 30m, 12h, 7d)")
+    pc.add_argument("--schema", type=int, default=None, metavar="N",
+                    help="remove entries stored under schema version N")
+    pc.add_argument("--all", action="store_true",
+                    help="remove every entry (no age/schema filter)")
+    pc.set_defaults(func=cmd_cache_prune)
+
+    pc = cache_sub.add_parser(
+        "serve", help="expose a dir/sqlite backend over HTTP",
+        parents=[_cache_parent()],
+    )
+    pc.add_argument("--host", default="127.0.0.1")
+    pc.add_argument("--port", type=int, default=8750,
+                    help="listen port (default 8750; 0 picks one)")
+    pc.set_defaults(func=cmd_cache_serve)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the asyncio study/sweep service",
+        parents=[_engine_parent()],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8751,
+                   help="listen port (default 8751; 0 picks one)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")
     p.add_argument("--reps", type=int, default=1000)

@@ -27,7 +27,7 @@ from repro.obs import core as obs
 from repro.runtime import ExecutionMode, SimOptions, simulate_many
 
 from repro.engine.cache import RECORD_SCHEMA
-from repro.engine.core import ExperimentEngine, JobOutcome
+from repro.engine.core import ExperimentEngine, JobOutcome, partition_jobs
 from repro.engine.jobs import Job
 from repro.engine.worker import compile_cached
 
@@ -50,21 +50,10 @@ def run_jobs_batched(
     Mirrors :meth:`ExperimentEngine.run`'s contract — per-job cache
     lookup first, outcomes in submission order — but executes the
     misses cell-by-cell through :func:`execute_cell_batched` instead of
-    job-by-job (the engine's process pool is not used; the batched
+    job-by-job (the engine's dispatcher is not used; the batched
     evaluator replaces that parallelism).
     """
-    outcomes: List[JobOutcome] = [None] * len(jobs)  # type: ignore[list-item]
-    misses: List[tuple] = []
-    for i, job in enumerate(jobs):
-        fp = job.fingerprint()
-        record = engine.cache.get(fp)
-        if record is not None:
-            obs.add("engine.result_cache.hit")
-            record = dict(record, cache_hit=True)
-            outcomes[i] = JobOutcome(job=job, record=record, cached=True)
-        else:
-            obs.add("engine.result_cache.miss")
-            misses.append((i, job, fp))
+    outcomes, misses = partition_jobs(engine.cache, jobs)
 
     cells: Dict[_CellKey, List[tuple]] = {}
     for entry in misses:

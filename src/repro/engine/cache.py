@@ -1,23 +1,54 @@
-"""On-disk result cache: content-addressed job records as JSON files.
+"""Result-cache backends: content-addressed job records behind one protocol.
 
-Layout: ``<root>/<aa>/<fingerprint>.json`` where ``aa`` is the first two
-hex digits of the fingerprint (keeps directories small at large sweep
-sizes).  Writes are atomic (tmp file + rename) so concurrent engine
-invocations sharing a cache directory never observe torn records; reads
-treat missing, truncated, or schema-mismatched files as misses.
+Every backend stores finished job records keyed by their SHA-256 content
+fingerprint and honors the same contract (the **backend contract**,
+executable as ``tests/engine/test_backends.py``):
 
-The default root is ``.repro-cache/`` under the current directory,
-overridable per engine (``cache_dir=``) or globally through the
-``REPRO_CACHE_DIR`` environment variable.
+* ``get`` returns the stored record or ``None`` on *any* miss — absent,
+  torn, corrupt, or written under another ``RECORD_SCHEMA``;
+* ``put`` is atomic (a concurrent reader sees the old record, the new
+  record, or a clean miss — never a partial document) and best-effort
+  (storage failures never fail the run that produced the result);
+* ``stats`` and ``prune`` make a stale multi-gigabyte store inspectable
+  and reclaimable without deleting it by hand.
+
+Four implementations:
+
+``DirCache``
+    Today's on-disk layout, ``<root>/<aa>/<fingerprint>.json`` (first
+    two hex digits shard the directory); unchanged format, so existing
+    ``.repro-cache/`` directories stay valid.  Atomicity is tmp-file +
+    ``os.replace``.
+``SqliteCache``
+    One shared SQLite file in WAL mode — safe for many concurrent
+    writer *processes* on one host (:mod:`repro.engine.cache_sqlite`).
+``HttpCache``
+    A thin JSON GET/PUT client so many hosts can share one store; pair
+    with the ``repro cache serve`` server mode
+    (:mod:`repro.engine.cache_http`).
+``NullCache``
+    The ``--no-cache`` backend: everything misses, nothing is stored.
+
+Selection goes through :func:`make_cache` — explicitly via
+``cache_backend=`` / ``--cache-backend dir|sqlite|http``, or implicitly:
+a set ``REPRO_CACHE_URL`` selects the HTTP backend, otherwise the
+directory backend under ``.repro-cache/`` (or ``REPRO_CACHE_DIR``).
+
+Backends count their traffic into the metrics registry under
+``cache.backend.*`` (hits / misses / stores / store_errors / invalid);
+the engine-level ``engine.result_cache.hit|miss`` counters stay where
+they always were, in the dispatch partition.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Iterator, Optional, Protocol, Tuple, Union, runtime_checkable
 
+from repro.errors import ExperimentError
 from repro.obs import core as obs
 
 #: Schema version of the stored record; bump together with record shape.
@@ -31,14 +62,103 @@ RECORD_SCHEMA = 3
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Backend kinds `make_cache` / ``--cache-backend`` accept.
+BACKEND_KINDS = ("dir", "sqlite", "http", "null")
+
 
 def default_cache_root() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
 
 
+def default_cache_url() -> Optional[str]:
+    return os.environ.get("REPRO_CACHE_URL") or None
+
+
+@dataclass
+class CacheStats:
+    """What a backend holds: entry/byte totals and a per-schema census."""
+
+    backend: str
+    location: Optional[str]
+    entries: int = 0
+    bytes: int = 0
+    schemas: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "location": self.location,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "schemas": {str(k): v for k, v in sorted(self.schemas.items())},
+        }
+
+    def describe(self) -> str:
+        schemas = ", ".join(
+            f"schema {k}: {v}" for k, v in sorted(self.schemas.items())
+        ) or "empty"
+        where = f" at {self.location}" if self.location else ""
+        return (
+            f"{self.backend} backend{where}: {self.entries} entries, "
+            f"{self.bytes} bytes ({schemas})"
+        )
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """The storage contract every result-cache backend satisfies."""
+
+    kind: str
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The stored record, or ``None`` on any miss."""
+        ...
+
+    def put(self, fingerprint: str, record: dict) -> None:
+        """Store a record atomically, best-effort."""
+        ...
+
+    def stats(self) -> CacheStats:
+        """Entry/byte totals and the per-schema census."""
+        ...
+
+    def prune(
+        self,
+        *,
+        older_than: Optional[float] = None,
+        schema: Optional[int] = None,
+    ) -> int:
+        """Remove entries matching every given filter (age in seconds,
+        stored schema version); no filters removes everything.  Returns
+        the number of entries removed."""
+        ...
+
+    def describe(self) -> dict:
+        """``{"backend": kind, "location": root-or-url}`` — the
+        telemetry-envelope attribution of where records went."""
+        ...
+
+
+def validate_record(record: object, fingerprint: str) -> Optional[dict]:
+    """The shared schema-miss gate: a stored document counts only when it
+    is a dict carrying the current ``RECORD_SCHEMA`` *and* filed under
+    its own fingerprint; anything else is an invalid entry (counted) and
+    reads as a miss."""
+    if (
+        isinstance(record, dict)
+        and record.get("schema") == RECORD_SCHEMA
+        and record.get("fingerprint") == fingerprint
+    ):
+        return record
+    obs.add("engine.result_cache.invalid")
+    obs.add("cache.backend.invalid")
+    return None
+
+
 class NullCache:
     """The ``--no-cache`` cache: everything misses, nothing is stored."""
 
+    kind = "null"
     root: Optional[Path] = None
 
     def get(self, fingerprint: str) -> Optional[dict]:
@@ -47,9 +167,26 @@ class NullCache:
     def put(self, fingerprint: str, record: dict) -> None:
         pass
 
+    def stats(self) -> CacheStats:
+        return CacheStats(backend=self.kind, location=None)
 
-class ResultCache:
-    """A directory of fingerprint-addressed job records."""
+    def prune(
+        self,
+        *,
+        older_than: Optional[float] = None,
+        schema: Optional[int] = None,
+    ) -> int:
+        return 0
+
+    def describe(self) -> dict:
+        return {"backend": self.kind, "location": None}
+
+
+class DirCache:
+    """A directory of fingerprint-addressed job records (the historical
+    ``.repro-cache/`` layout, byte-for-byte)."""
+
+    kind = "dir"
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
@@ -64,17 +201,15 @@ class ResultCache:
         try:
             record = json.loads(path.read_text())
         except OSError:
+            obs.add("cache.backend.misses")
             return None
         except ValueError:
             obs.add("engine.result_cache.invalid")
+            obs.add("cache.backend.invalid")
+            obs.add("cache.backend.misses")
             return None
-        if (
-            not isinstance(record, dict)
-            or record.get("schema") != RECORD_SCHEMA
-            or record.get("fingerprint") != fingerprint
-        ):
-            obs.add("engine.result_cache.invalid")
-            return None
+        record = validate_record(record, fingerprint)
+        obs.add("cache.backend.hits" if record is not None else "cache.backend.misses")
         return record
 
     def put(self, fingerprint: str, record: dict) -> None:
@@ -87,11 +222,106 @@ class ResultCache:
             tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
             os.replace(tmp, path)
             obs.add("engine.result_cache.store")
+            obs.add("cache.backend.stores")
         except OSError:
             obs.add("engine.result_cache.store_error")
+            obs.add("cache.backend.store_errors")
+
+    def _entries(self) -> Iterator[Tuple[Path, os.stat_result]]:
+        if not self.root.is_dir():
+            return
+        for path in self.root.rglob("*.json"):
+            try:
+                yield path, path.stat()
+            except OSError:
+                continue
+
+    def stats(self) -> CacheStats:
+        stats = CacheStats(backend=self.kind, location=str(self.root))
+        for path, st in self._entries():
+            stats.entries += 1
+            stats.bytes += st.st_size
+            try:
+                schema = json.loads(path.read_text()).get("schema")
+            except (OSError, ValueError, AttributeError):
+                schema = None
+            key = schema if isinstance(schema, int) else -1
+            stats.schemas[key] = stats.schemas.get(key, 0) + 1
+        return stats
+
+    def prune(
+        self,
+        *,
+        older_than: Optional[float] = None,
+        schema: Optional[int] = None,
+    ) -> int:
+        import time
+
+        cutoff = time.time() - older_than if older_than is not None else None
+        removed = 0
+        for path, st in list(self._entries()):
+            if cutoff is not None and st.st_mtime > cutoff:
+                continue
+            if schema is not None:
+                try:
+                    stored = json.loads(path.read_text()).get("schema")
+                except (OSError, ValueError, AttributeError):
+                    stored = None
+                if stored != schema:
+                    continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        obs.add("cache.backend.pruned", removed)
+        return removed
+
+    def describe(self) -> dict:
+        return {"backend": self.kind, "location": str(self.root)}
+
+
+#: Historical name (pre-backend-protocol); same class, same layout.
+ResultCache = DirCache
 
 
 def make_cache(
-    enabled: bool = True, root: Union[str, Path, None] = None
-) -> Union[ResultCache, NullCache]:
-    return ResultCache(root) if enabled else NullCache()
+    enabled: bool = True,
+    root: Union[str, Path, None] = None,
+    *,
+    backend: Optional[str] = None,
+    url: Optional[str] = None,
+) -> CacheBackend:
+    """Resolve a cache backend from the engine knobs.
+
+    ``backend`` picks explicitly (``dir`` / ``sqlite`` / ``http`` /
+    ``null``); when it is ``None``, a cache URL (argument or
+    ``REPRO_CACHE_URL``) selects the HTTP backend and anything else
+    falls back to the directory backend.  ``enabled=False`` always wins
+    with a :class:`NullCache`.
+    """
+    if not enabled:
+        return NullCache()
+    url = url or default_cache_url()
+    if backend is None:
+        backend = "http" if url else "dir"
+    if backend == "dir":
+        return DirCache(root)
+    if backend == "sqlite":
+        from repro.engine.cache_sqlite import SqliteCache
+
+        return SqliteCache(root)
+    if backend == "http":
+        from repro.engine.cache_http import HttpCache
+
+        if not url:
+            raise ExperimentError(
+                "http cache backend needs a URL (cache_url= / --cache-url "
+                "or $REPRO_CACHE_URL)"
+            )
+        return HttpCache(url)
+    if backend == "null":
+        return NullCache()
+    raise ExperimentError(
+        f"unknown cache backend {backend!r} (choose from {', '.join(BACKEND_KINDS)})"
+    )

@@ -1,0 +1,229 @@
+"""HTTP result-cache backend: a thin JSON client plus its server mode.
+
+The client (:class:`HttpCache`) speaks a four-route protocol any store
+can sit behind::
+
+    GET  /records/<fingerprint>   -> 200 record JSON | 404
+    PUT  /records/<fingerprint>   <- record JSON     -> 204
+    GET  /stats                   -> 200 CacheStats JSON
+    POST /prune                   <- {"older_than": s?, "schema": n?}
+                                  -> 200 {"removed": n}
+
+The server mode (:class:`CacheServer`, CLI ``repro cache serve``) is a
+stdlib ``http.server`` ``ThreadingHTTPServer`` that exposes *any other*
+backend — typically a :class:`~repro.engine.cache_sqlite.SqliteCache` —
+over that protocol, so one shared content-addressed store can back many
+hosts.  Atomicity composes: the server applies each PUT through the
+delegate backend's own atomic ``put``, and the client treats every
+transport failure, non-200, or invalid body as a miss (reads) or a
+counted best-effort failure (writes), matching the backend contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.engine.cache import CacheBackend, CacheStats, validate_record
+from repro.obs import core as obs
+
+__all__ = ["CacheServer", "HttpCache"]
+
+_DEFAULT_TIMEOUT = 10.0
+
+
+class HttpCache:
+    """Fingerprint-addressed records behind a remote cache server."""
+
+    kind = "http"
+
+    def __init__(self, url: str, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Optional[bytes]:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urlrequest.Request(
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read()
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        try:
+            payload = self._request("GET", f"/records/{fingerprint}")
+            record = json.loads(payload)
+        except (OSError, ValueError, urlerror.URLError):
+            # 404 (a plain miss) lands here too, as urllib raises
+            # HTTPError (an OSError) for it
+            obs.add("cache.backend.misses")
+            return None
+        record = validate_record(record, fingerprint)
+        obs.add("cache.backend.hits" if record is not None else "cache.backend.misses")
+        return record
+
+    def put(self, fingerprint: str, record: dict) -> None:
+        try:
+            self._request("PUT", f"/records/{fingerprint}", body=record)
+            obs.add("engine.result_cache.store")
+            obs.add("cache.backend.stores")
+        except (OSError, ValueError, TypeError, urlerror.URLError):
+            obs.add("engine.result_cache.store_error")
+            obs.add("cache.backend.store_errors")
+
+    def stats(self) -> CacheStats:
+        stats = CacheStats(backend=self.kind, location=self.url)
+        try:
+            doc = json.loads(self._request("GET", "/stats"))
+        except (OSError, ValueError, urlerror.URLError):
+            return stats
+        stats.entries = int(doc.get("entries", 0))
+        stats.bytes = int(doc.get("bytes", 0))
+        stats.schemas = {
+            int(k): int(v) for k, v in (doc.get("schemas") or {}).items()
+        }
+        return stats
+
+    def prune(
+        self,
+        *,
+        older_than: Optional[float] = None,
+        schema: Optional[int] = None,
+    ) -> int:
+        body = {}
+        if older_than is not None:
+            body["older_than"] = older_than
+        if schema is not None:
+            body["schema"] = schema
+        try:
+            doc = json.loads(self._request("POST", "/prune", body=body))
+            return int(doc.get("removed", 0))
+        except (OSError, ValueError, urlerror.URLError):
+            return 0
+
+    def describe(self) -> dict:
+        return {"backend": self.kind, "location": self.url}
+
+
+class _CacheHandler(BaseHTTPRequestHandler):
+    """Routes the cache protocol onto ``server.backend``."""
+
+    server_version = "repro-cache/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the obs counters are the access log
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    @property
+    def _backend(self) -> CacheBackend:
+        return self.server.backend  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802
+        obs.add("cache.server.requests")
+        if self.path.startswith("/records/"):
+            fingerprint = self.path[len("/records/") :]
+            record = self._backend.get(fingerprint)
+            if record is None:
+                self._send_json(404, {"error": "miss"})
+            else:
+                self._send_json(200, record)
+        elif self.path == "/stats":
+            self._send_json(200, self._backend.stats().as_dict())
+        elif self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        else:
+            self._send_json(404, {"error": f"no route {self.path}"})
+
+    def do_PUT(self) -> None:  # noqa: N802
+        obs.add("cache.server.requests")
+        if not self.path.startswith("/records/"):
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        fingerprint = self.path[len("/records/") :]
+        record = self._read_body()
+        if record is None:
+            self._send_json(400, {"error": "body is not a JSON object"})
+            return
+        self._backend.put(fingerprint, record)
+        self.send_response(204)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def do_POST(self) -> None:  # noqa: N802
+        obs.add("cache.server.requests")
+        if self.path != "/prune":
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        body = self._read_body() or {}
+        removed = self._backend.prune(
+            older_than=body.get("older_than"), schema=body.get("schema")
+        )
+        self._send_json(200, {"removed": removed})
+
+
+class CacheServer:
+    """Serve any :class:`CacheBackend` over the cache HTTP protocol.
+
+    ``port=0`` binds an ephemeral port; read the resolved address back
+    from :attr:`url`.  :meth:`start` runs the server in a daemon thread
+    (tests, embedding); :meth:`serve_forever` blocks (the CLI).
+    """
+
+    def __init__(
+        self,
+        backend: CacheBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.backend = backend
+        self._httpd = ThreadingHTTPServer((host, port), _CacheHandler)
+        self._httpd.backend = backend  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CacheServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

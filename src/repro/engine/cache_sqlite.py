@@ -1,0 +1,190 @@
+"""SQLite result-cache backend: one shared content-addressed store.
+
+A single ``cache.sqlite`` file in WAL mode serves many concurrent engine
+processes on one host: WAL gives single-writer/many-reader concurrency
+with readers never blocking on a writer, and every ``put`` is one
+``INSERT OR REPLACE`` transaction, so a reader sees the old record, the
+new record, or a clean miss — never a torn document (the same atomic
+guarantee ``DirCache`` gets from ``os.replace``).
+
+Rows carry the stored ``schema`` and a creation timestamp alongside the
+JSON text, so ``stats``/``prune`` run as indexed SQL instead of a
+directory walk.
+
+The root knob is reused: a path ending in ``.sqlite``/``.db`` is the
+database file itself, anything else is a directory that holds
+``cache.sqlite`` (so ``--cache-dir`` means the same thing under every
+backend).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.engine.cache import CacheStats, default_cache_root, validate_record
+from repro.obs import core as obs
+
+__all__ = ["SqliteCache"]
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS records (
+  fingerprint TEXT PRIMARY KEY,
+  schema      INTEGER NOT NULL,
+  created     REAL NOT NULL,
+  record      TEXT NOT NULL
+)
+"""
+
+
+class SqliteCache:
+    """Fingerprint-addressed job records in one WAL-mode SQLite file."""
+
+    kind = "sqlite"
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        root = Path(root) if root is not None else default_cache_root()
+        if root.suffix in (".sqlite", ".db"):
+            self.path = root
+        else:
+            self.path = root / "cache.sqlite"
+        self.root = self.path.parent
+        # one connection guarded by a lock: the engine reads and writes
+        # from its coordinating thread/process; cross-process concurrency
+        # is SQLite's job (WAL + busy timeout), cross-thread is ours
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self.path), timeout=10.0, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(_SCHEMA_SQL)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # SqliteCache crosses ProcessPoolExecutor boundaries inside Job-free
+    # dispatcher state; a live connection must never be pickled
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_conn"] = None
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._conn = None
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        try:
+            with self._lock:
+                row = (
+                    self._connect()
+                    .execute(
+                        "SELECT record FROM records WHERE fingerprint = ?",
+                        (fingerprint,),
+                    )
+                    .fetchone()
+                )
+        except sqlite3.Error:
+            obs.add("cache.backend.misses")
+            return None
+        if row is None:
+            obs.add("cache.backend.misses")
+            return None
+        try:
+            record = json.loads(row[0])
+        except ValueError:
+            obs.add("engine.result_cache.invalid")
+            obs.add("cache.backend.invalid")
+            obs.add("cache.backend.misses")
+            return None
+        record = validate_record(record, fingerprint)
+        obs.add("cache.backend.hits" if record is not None else "cache.backend.misses")
+        return record
+
+    def put(self, fingerprint: str, record: dict) -> None:
+        try:
+            text = json.dumps(record, sort_keys=True)
+            schema = record.get("schema") if isinstance(record, dict) else None
+            with self._lock:
+                conn = self._connect()
+                with conn:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO records "
+                        "(fingerprint, schema, created, record) "
+                        "VALUES (?, ?, ?, ?)",
+                        (
+                            fingerprint,
+                            schema if isinstance(schema, int) else -1,
+                            time.time(),
+                            text,
+                        ),
+                    )
+            obs.add("engine.result_cache.store")
+            obs.add("cache.backend.stores")
+        except (sqlite3.Error, OSError, TypeError, ValueError):
+            obs.add("engine.result_cache.store_error")
+            obs.add("cache.backend.store_errors")
+
+    def stats(self) -> CacheStats:
+        stats = CacheStats(backend=self.kind, location=str(self.path))
+        try:
+            with self._lock:
+                conn = self._connect()
+                rows = conn.execute(
+                    "SELECT schema, COUNT(*), SUM(LENGTH(record)) "
+                    "FROM records GROUP BY schema"
+                ).fetchall()
+        except sqlite3.Error:
+            return stats
+        for schema, count, nbytes in rows:
+            stats.entries += count
+            stats.bytes += int(nbytes or 0)
+            stats.schemas[int(schema)] = count
+        return stats
+
+    def prune(
+        self,
+        *,
+        older_than: Optional[float] = None,
+        schema: Optional[int] = None,
+    ) -> int:
+        clauses, params = [], []
+        if older_than is not None:
+            clauses.append("created <= ?")
+            params.append(time.time() - older_than)
+        if schema is not None:
+            clauses.append("schema = ?")
+            params.append(schema)
+        sql = "DELETE FROM records"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        try:
+            with self._lock:
+                conn = self._connect()
+                with conn:
+                    removed = conn.execute(sql, params).rowcount
+        except sqlite3.Error:
+            return 0
+        obs.add("cache.backend.pruned", removed)
+        return removed
+
+    def describe(self) -> dict:
+        return {"backend": self.kind, "location": str(self.path)}

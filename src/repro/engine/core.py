@@ -19,8 +19,8 @@ also carries the per-job telemetry records.
 from __future__ import annotations
 
 import json
+import os
 from collections.abc import Mapping as MappingABC
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -30,6 +30,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
@@ -39,9 +40,9 @@ from repro.obs import core as obs
 from repro.programs import BENCHMARKS
 from repro.runtime import ExecutionMode
 
-from repro.engine.cache import RECORD_SCHEMA, NullCache, ResultCache, make_cache
+from repro.engine.cache import RECORD_SCHEMA, CacheBackend, make_cache
+from repro.engine.dispatch import Dispatcher, make_dispatcher
 from repro.engine.jobs import ConfigValue, Job, MachineSpec
-from repro.engine.worker import execute_job
 
 ConfigOverride = Union[Mapping[str, ConfigValue], Iterable[str], None]
 
@@ -68,19 +69,51 @@ class JobOutcome:
         )
 
 
+def partition_jobs(
+    cache: CacheBackend, jobs: Sequence[Job]
+) -> Tuple[List[Optional[JobOutcome]], List[Tuple[int, Job, str]]]:
+    """Split a job list against the result cache: a sparse outcome list
+    with the hits filled in, plus the ``(index, job, fingerprint)``
+    misses still to dispatch.  This is the one place the engine-level
+    ``engine.result_cache.hit|miss`` counters are emitted — every
+    execution path (per-job, batched, sharded) goes through it."""
+    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+    misses: List[Tuple[int, Job, str]] = []
+    for i, job in enumerate(jobs):
+        fp = job.fingerprint()
+        record = cache.get(fp)
+        if record is not None:
+            obs.add("engine.result_cache.hit")
+            record = dict(record, cache_hit=True)
+            outcomes[i] = JobOutcome(job=job, record=record, cached=True)
+        else:
+            obs.add("engine.result_cache.miss")
+            misses.append((i, job, fp))
+    return outcomes, misses
+
+
 class ExperimentEngine:
-    """Runs jobs through the result cache and an optional process pool.
+    """Runs jobs through a result-cache backend and a dispatcher.
 
     Parameters
     ----------
     jobs:
         Worker process count; ``None`` or ``1`` runs inline (sharing one
         compile cache across the whole study), ``N > 1`` fans misses out
-        over a ``ProcessPoolExecutor``.
+        over a worker pool.
     cache:
-        Consult/populate the on-disk result cache (default on).
+        Consult/populate the result cache (default on).
     cache_dir:
         Cache root; defaults to ``.repro-cache/`` (or ``REPRO_CACHE_DIR``).
+    cache_backend:
+        Storage backend kind — ``dir`` (default), ``sqlite``, ``http``;
+        see :func:`repro.engine.cache.make_cache`.
+    cache_url:
+        Base URL for the ``http`` backend (or ``$REPRO_CACHE_URL``).
+    dispatcher:
+        Execution strategy for cache misses — ``"local"`` (default),
+        ``"sharded"``, or a ready :class:`~repro.engine.dispatch.Dispatcher`;
+        results are bit-identical across dispatchers.
     """
 
     def __init__(
@@ -89,52 +122,36 @@ class ExperimentEngine:
         jobs: Optional[int] = None,
         cache: bool = True,
         cache_dir: Union[str, Path, None] = None,
+        cache_backend: Optional[str] = None,
+        cache_url: Optional[str] = None,
+        dispatcher: Union[Dispatcher, str, None] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
-        self.cache: Union[ResultCache, NullCache] = make_cache(cache, cache_dir)
+        self.cache: CacheBackend = make_cache(
+            cache, cache_dir, backend=cache_backend, url=cache_url
+        )
+        self.dispatcher: Dispatcher = make_dispatcher(dispatcher, jobs)
 
     def run(self, jobs: Sequence[Job]) -> List[JobOutcome]:
         """Run every job, returning outcomes in submission order."""
-        with obs.span("engine:run", jobs=len(jobs), workers=self.jobs or 1):
-            outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
-            misses: List[tuple] = []
-            for i, job in enumerate(jobs):
-                fp = job.fingerprint()
-                record = self.cache.get(fp)
-                if record is not None:
-                    obs.add("engine.result_cache.hit")
-                    record = dict(record, cache_hit=True)
-                    outcomes[i] = JobOutcome(job=job, record=record, cached=True)
-                else:
-                    obs.add("engine.result_cache.miss")
-                    misses.append((i, job, fp))
-
+        with obs.span(
+            "engine:run",
+            jobs=len(jobs),
+            workers=self.jobs or 1,
+            dispatcher=self.dispatcher.kind,
+            cache_backend=self.cache.kind,
+        ):
+            outcomes, misses = partition_jobs(self.cache, jobs)
             if misses:
                 todo = [job for _, job, _ in misses]
-                pooled = bool(self.jobs and self.jobs > 1 and len(todo) > 1)
-                if pooled:
-                    # Larger chunks amortize pickling/IPC; the /4 keeps
-                    # enough chunks in flight to balance uneven job costs.
-                    chunksize = max(1, len(todo) // (self.jobs * 4))
-                    with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                        records = _drain(pool.map(
-                            execute_job, todo, chunksize=chunksize
-                        ), todo)
-                else:
-                    records = []
-                    for job in todo:
-                        try:
-                            records.append(execute_job(job))
-                        except ExperimentError:
-                            raise
-                        except Exception as exc:
-                            raise _job_failure(job, exc) from exc
+                records = self.dispatcher.dispatch(todo)
+                pid = os.getpid()
                 for (i, job, fp), record in zip(misses, records):
                     self.cache.put(fp, record)
                     outcomes[i] = JobOutcome(job=job, record=record, cached=False)
-                    if pooled:
+                    if record.get("worker_pid") != pid:
                         # pool workers start with tracing off; their
                         # warnings travel home in the job record and are
                         # surfaced through the event sink here (inline
@@ -142,36 +159,6 @@ class ExperimentEngine:
                         _reemit_worker_warnings(record)
 
             return [o for o in outcomes if o is not None]
-
-
-def _job_failure(job: Job, exc: BaseException) -> ExperimentError:
-    """Name the job that died — a bare worker traceback loses which cell
-    of a 24-job matrix failed."""
-    return ExperimentError(
-        f"job failed for ({job.benchmark}, {job.experiment}, "
-        f"{job.effective_library()}): {exc}"
-    )
-
-
-def _drain(results: Iterable[dict], todo: Sequence[Job]) -> List[dict]:
-    """Collect pool results, re-raising the first failure with a job's
-    identity.  :func:`~repro.engine.worker.execute_job` already names the
-    exact job in its :class:`ExperimentError`; this catch covers failures
-    the worker could not wrap (a killed process, an unpicklable record),
-    blaming the first undelivered job (``pool.map`` yields in submission
-    order, so that is the count of records collected so far)."""
-    records: List[dict] = []
-    it = iter(results)
-    while True:
-        try:
-            record = next(it)
-        except StopIteration:
-            return records
-        except ExperimentError:
-            raise
-        except Exception as exc:
-            raise _job_failure(todo[len(records)], exc) from exc
-        records.append(record)
 
 
 def _reemit_worker_warnings(record: dict) -> None:
@@ -239,6 +226,11 @@ class StudyResult(MappingABC):
 
     results: Dict[str, List[ExperimentResult]]
     outcomes: List[JobOutcome] = field(default_factory=list, repr=False)
+    #: Where the records went: the cache backend's ``describe()`` —
+    #: ``{"backend": kind, "location": resolved root or URL}`` — so a
+    #: telemetry document is attributable to its store (the resolved
+    #: ``REPRO_CACHE_DIR``/``REPRO_CACHE_URL`` used to be invisible).
+    cache_info: Optional[dict] = None
 
     def __getitem__(self, benchmark: str) -> List[ExperimentResult]:
         return self.results[benchmark]
@@ -264,17 +256,15 @@ class StudyResult(MappingABC):
         The envelope is versioned by the same ``RECORD_SCHEMA`` constant
         the per-job records carry, so the document version can never
         drift from the records inside it; read it back with
-        :func:`load_telemetry`.
+        :func:`load_telemetry`.  When the study ran through a cache
+        backend, the envelope also carries its ``cache`` attribution
+        (backend kind + resolved root/URL).
         """
         path = Path(path)
-        path.write_text(
-            json.dumps(
-                {"schema": RECORD_SCHEMA, "records": self.telemetry},
-                indent=1,
-                sort_keys=True,
-            )
-            + "\n"
-        )
+        doc = {"schema": RECORD_SCHEMA, "records": self.telemetry}
+        if self.cache_info is not None:
+            doc["cache"] = self.cache_info
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         return path
 
 
@@ -323,6 +313,9 @@ def run_study(
     jobs: Optional[int] = None,
     cache: bool = True,
     cache_dir: Union[str, Path, None] = None,
+    cache_backend: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    dispatcher: Union[Dispatcher, str, None] = None,
     telemetry: Union[str, Path, None] = None,
 ) -> StudyResult:
     """Run the whole-program study through the experiment engine.
@@ -349,8 +342,10 @@ def run_study(
         Compiled fast-path selection, forwarded to
         :func:`repro.runtime.simulate` (None = auto, ``False`` forces
         the interpreted walk; results are bit-identical either way).
-    jobs, cache, cache_dir:
-        Engine knobs — see :class:`ExperimentEngine`.
+    jobs, cache, cache_dir, cache_backend, cache_url, dispatcher:
+        Engine knobs — see :class:`ExperimentEngine`; ``cache_backend``
+        selects the storage backend (``dir``/``sqlite``/``http``) and
+        ``dispatcher`` the execution strategy (``local``/``sharded``).
     telemetry:
         Optional path; when given, the telemetry records are written
         there as JSON.
@@ -378,14 +373,23 @@ def run_study(
         mode=mode,
         fast=fast,
     )
-    engine = ExperimentEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    engine = ExperimentEngine(
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        cache_backend=cache_backend,
+        cache_url=cache_url,
+        dispatcher=dispatcher,
+    )
     outcomes = engine.run(matrix)
 
     results: Dict[str, List[ExperimentResult]] = {b: [] for b in benchmarks}
     for outcome in outcomes:
         results[outcome.job.benchmark].append(outcome.result)
 
-    study = StudyResult(results=results, outcomes=outcomes)
+    study = StudyResult(
+        results=results, outcomes=outcomes, cache_info=engine.cache.describe()
+    )
     if telemetry is not None:
         study.write_telemetry(telemetry)
     return study

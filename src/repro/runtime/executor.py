@@ -31,7 +31,6 @@ parameter for the escape hatch).
 
 from __future__ import annotations
 
-import warnings as _warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -365,48 +364,19 @@ _UNSET = object()
 
 
 def _resolve_options(
-    options: Optional[SimOptions],
-    mode: object,
-    repeat_cap: object,
-    trace_rank: object,
-    fast: object,
+    options: Optional[SimOptions], mode: object
 ) -> SimOptions:
-    """Fold the legacy bare arguments and the options object into one
-    :class:`SimOptions`, warning on deprecated spellings."""
-    legacy = {
-        name: value
-        for name, value in (
-            ("repeat_cap", repeat_cap),
-            ("trace_rank", trace_rank),
-            ("fast", fast),
-        )
-        if value is not _UNSET
-    }
+    """Fold the positional ``mode`` and the options object into one
+    :class:`SimOptions`; mixing them raises."""
     if options is not None:
-        if mode is not _UNSET or legacy:
-            passed = list(legacy)
-            if mode is not _UNSET:
-                passed.insert(0, "mode")
+        if mode is not _UNSET:
             raise RuntimeFault(
-                "simulate() got options= together with "
-                + ", ".join(passed)
-                + " — put every setting on the SimOptions object"
+                "simulate() got options= together with mode — put every "
+                "setting on the SimOptions object"
             )
         return options
-    if legacy:
-        _warnings.warn(
-            "passing "
-            + ", ".join(sorted(legacy))
-            + " to simulate() directly is deprecated; pass "
-            "options=SimOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
     return SimOptions(
-        mode=mode if mode is not _UNSET else ExecutionMode.NUMERIC,
-        repeat_cap=legacy.get("repeat_cap"),
-        trace_rank=legacy.get("trace_rank"),
-        fast=legacy.get("fast"),
+        mode=mode if mode is not _UNSET else ExecutionMode.NUMERIC
     )
 
 
@@ -414,9 +384,6 @@ def simulate(
     program: ir.IRProgram,
     machine: Machine,
     mode: ExecutionMode = _UNSET,  # type: ignore[assignment]
-    repeat_cap: Optional[int] = _UNSET,  # type: ignore[assignment]
-    trace_rank: Optional[int] = _UNSET,  # type: ignore[assignment]
-    fast: Optional[bool] = _UNSET,  # type: ignore[assignment]
     *,
     options: Optional[SimOptions] = None,
 ) -> RunResult:
@@ -453,12 +420,14 @@ def simulate(
             mode can't support it.  Results are bit-identical either
             way.
 
-    The historical spellings — positional ``mode`` and the bare
-    ``repeat_cap`` / ``trace_rank`` / ``fast`` keywords — still work for
-    one release; the bare keywords emit a :class:`DeprecationWarning`.
-    Mixing them with ``options=`` raises.
+    ``mode`` may also be passed positionally — ``simulate(program,
+    machine, ExecutionMode.TIMING)`` is the stable short form — but
+    every other setting lives on the options object (the bare
+    ``repeat_cap``/``trace_rank``/``fast`` keywords completed their
+    deprecation cycle and are gone).  Mixing ``mode`` with ``options=``
+    raises.
     """
-    opts = _resolve_options(options, mode, repeat_cap, trace_rank, fast)
+    opts = _resolve_options(options, mode)
     mode = opts.mode
     repeat_cap = opts.repeat_cap
     trace_rank = opts.trace_rank

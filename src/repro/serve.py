@@ -1,0 +1,368 @@
+"""``repro serve`` — an asyncio HTTP front-end over the experiment engine.
+
+The server accepts study and sweep requests as JSON, runs them through
+one shared :class:`~repro.engine.ExperimentEngine` configuration (cache
+backend, dispatcher, worker count — all fixed at startup), and returns
+the result summary plus per-cell results.  Two properties make it more
+than a thin RPC wrapper:
+
+* **in-flight dedup** — a study request is keyed by the content
+  fingerprints of the jobs it expands to (a sweep by its canonical
+  payload), so a second identical submission that arrives while the
+  first is still running awaits the *same* execution instead of
+  spawning new jobs (``serve.dedup`` counts these).  Once the first
+  run finishes, identical re-submissions are served by the result
+  cache instead — either way, no job runs twice.
+* **batched cost-only work** — sweep requests go through
+  :func:`repro.sweep.run_sweep` with its default auto-batching, so a
+  cost-only TIMING sweep evaluates each ``benchmark x experiment``
+  cell's variants in one :func:`repro.runtime.simulate_many` call.
+
+Protocol (all bodies JSON)::
+
+    GET  /healthz   -> 200 {"ok": true}
+    GET  /stats     -> 200 {"cache": ..., "counters": ..., "inflight": n}
+    POST /v1/study  <- run_study kwargs subset  -> 200 result summary
+    POST /v1/sweep  <- run_sweep kwargs subset  -> 200 result summary
+
+Counters: ``serve.requests``, ``serve.studies``, ``serve.sweeps``,
+``serve.dedup``, ``serve.errors`` — streamed through :mod:`repro.obs`
+like the rest of the stack (enable a sink in the serving process to
+collect them; ``GET /stats`` reports the live registry either way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import threading
+from functools import partial
+from typing import Dict, Optional, Tuple
+
+from repro.engine.core import ExperimentEngine, build_matrix, run_study
+from repro.errors import ReproError
+from repro.obs import core as obs
+from repro.sweep import SweepAxis, run_sweep
+
+__all__ = ["ReproServer", "ServeApp"]
+
+#: request-payload keys forwarded to :func:`repro.run_study`
+_STUDY_KEYS = frozenset(
+    {
+        "benchmarks",
+        "keys",
+        "machine",
+        "nprocs",
+        "library",
+        "config_overrides",
+        "mode",
+        "fast",
+    }
+)
+#: request-payload keys forwarded to :func:`repro.sweep.run_sweep`
+_SWEEP_KEYS = frozenset(
+    {
+        "axes",
+        "benchmarks",
+        "keys",
+        "machine",
+        "library",
+        "overrides",
+        "config_overrides",
+        "mode",
+        "fast",
+        "batched",
+    }
+)
+
+
+class ServeApp:
+    """Routing + dedup + execution, independent of the socket layer.
+
+    The engine configuration (worker count, cache backend/root/URL,
+    dispatcher) is fixed per app; requests choose *what* to run, never
+    *where* results go — that is what lets concurrent requests share
+    one backend and dedup against each other.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = None,
+        cache: bool = True,
+        cache_dir=None,
+        cache_backend: Optional[str] = None,
+        cache_url: Optional[str] = None,
+        dispatcher=None,
+    ) -> None:
+        self.engine_kwargs = {
+            "jobs": jobs,
+            "cache": cache,
+            "cache_dir": cache_dir,
+            "cache_backend": cache_backend,
+            "cache_url": cache_url,
+            "dispatcher": dispatcher,
+        }
+        # probe the configuration eagerly so a bad backend/dispatcher
+        # fails at startup, not on the first request
+        self.cache_info = ExperimentEngine(**self.engine_kwargs).cache.describe()
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+
+    # -- request keys -------------------------------------------------
+
+    def _study_key(self, payload: dict) -> str:
+        """Key a study by the content fingerprints of its job matrix —
+        two requests that expand to the same jobs dedup even when the
+        payloads spell the machine differently."""
+        jobs = _study_matrix(payload)
+        digest = hashlib.sha256()
+        for job in jobs:
+            digest.update(job.fingerprint().encode())
+            digest.update(b"\n")
+        return "study:" + digest.hexdigest()
+
+    def _sweep_key(self, payload: dict) -> str:
+        canon = json.dumps(payload, sort_keys=True, default=str)
+        return "sweep:" + hashlib.sha256(canon.encode()).hexdigest()
+
+    # -- execution ----------------------------------------------------
+
+    def _run_study(self, payload: dict) -> dict:
+        kwargs = {k: payload[k] for k in payload if k in _STUDY_KEYS}
+        study = run_study(**kwargs, **self.engine_kwargs)
+        obs.add("serve.studies")
+        return _summary("study", study.outcomes, study.cache_info)
+
+    def _run_sweep(self, payload: dict) -> dict:
+        kwargs = {
+            k: payload[k] for k in payload if k in _SWEEP_KEYS and k != "axes"
+        }
+        axes = [
+            SweepAxis(str(a["name"]), tuple(a["values"]))
+            for a in payload.get("axes") or ()
+        ]
+        sweep = run_sweep(axes=axes, **kwargs, **self.engine_kwargs)
+        obs.add("serve.sweeps")
+        summary = _summary("sweep", sweep.outcomes, sweep.cache_info)
+        summary["points"] = len(sweep.points)
+        return summary
+
+    async def submit(self, kind: str, payload: dict) -> dict:
+        """Run (or join) a request; identical in-flight submissions
+        share one execution."""
+        if kind == "study":
+            key, work = self._study_key(payload), self._run_study
+        else:
+            key, work = self._sweep_key(payload), self._run_sweep
+
+        loop = asyncio.get_running_loop()
+        task = self._inflight.get(key)
+        deduped = task is not None
+        if deduped:
+            obs.add("serve.dedup")
+        else:
+            task = loop.run_in_executor(None, partial(work, payload))
+            task.add_done_callback(partial(self._settle, key))
+            self._inflight[key] = task
+        result = await asyncio.shield(task)
+        return dict(result, deduped=deduped)
+
+    def _settle(self, key: str, task: "asyncio.Future") -> None:
+        self._inflight.pop(key, None)
+        if not task.cancelled():
+            task.exception()  # retrieved by every awaiter; silence the loop
+
+    # -- routing ------------------------------------------------------
+
+    async def route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict]:
+        obs.add("serve.requests")
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True}
+        if method == "GET" and path == "/stats":
+            return 200, {
+                "cache": self.cache_info,
+                "counters": obs.counters(),
+                "inflight": len(self._inflight),
+            }
+        if method == "POST" and path in ("/v1/study", "/v1/sweep"):
+            kind = path.rsplit("/", 1)[1]
+            try:
+                payload = json.loads(body or b"{}")
+            except ValueError:
+                obs.add("serve.errors")
+                return 400, {"error": "body is not valid JSON"}
+            if not isinstance(payload, dict):
+                obs.add("serve.errors")
+                return 400, {"error": "body must be a JSON object"}
+            allowed = _STUDY_KEYS if kind == "study" else _SWEEP_KEYS
+            unknown = sorted(set(payload) - allowed)
+            if unknown:
+                obs.add("serve.errors")
+                return 400, {
+                    "error": f"unknown {kind} fields: {', '.join(unknown)}",
+                    "allowed": sorted(allowed),
+                }
+            try:
+                return 200, await self.submit(kind, payload)
+            except ReproError as exc:
+                obs.add("serve.errors")
+                return 422, {"error": str(exc)}
+        return 404, {"error": f"no route {method} {path}"}
+
+
+def _study_matrix(payload: dict):
+    """The job matrix a study payload expands to (for dedup keying)."""
+    from repro.engine.jobs import MachineSpec
+    from repro.runtime import ExecutionMode
+
+    nprocs = payload.get("nprocs")
+    spec = MachineSpec.coerce(
+        payload.get("machine"),
+        nprocs=64 if nprocs is None else nprocs,
+        library=payload.get("library"),
+    )
+    benchmarks = payload.get("benchmarks")
+    if isinstance(benchmarks, str):
+        benchmarks = (benchmarks,)
+    from repro.experiments_registry import EXPERIMENT_KEYS
+    from repro.programs import BENCHMARKS
+
+    return build_matrix(
+        tuple(benchmarks or BENCHMARKS),
+        tuple(payload.get("keys") or EXPERIMENT_KEYS),
+        machine=spec,
+        config_overrides=payload.get("config_overrides"),
+        mode=payload.get("mode") or ExecutionMode.TIMING,
+        fast=payload.get("fast"),
+    )
+
+
+def _summary(kind: str, outcomes, cache_info: Optional[dict]) -> dict:
+    executed = sum(not o.cached for o in outcomes)
+    return {
+        "kind": kind,
+        "cells": len(outcomes),
+        "cache_hits": len(outcomes) - executed,
+        "executed": executed,
+        "cache": cache_info,
+        "results": [
+            {
+                "benchmark": o.record["benchmark"],
+                "experiment": o.record["experiment"],
+                "library": o.record["library"],
+                "static_count": o.record["result"]["static_count"],
+                "dynamic_count": o.record["result"]["dynamic_count"],
+                "execution_time": o.record["result"]["execution_time"],
+                "fingerprint": o.record["fingerprint"],
+                "cached": o.cached,
+            }
+            for o in outcomes
+        ],
+    }
+
+
+class ReproServer:
+    """The asyncio socket layer around :class:`ServeApp`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`url`
+    after startup).  :meth:`serve_forever` blocks (the CLI);
+    :meth:`start` runs the loop in a daemon thread (tests, embedding)
+    and :meth:`close` tears it down.
+    """
+
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._task: Optional[asyncio.Task] = None
+        self._ready = threading.Event()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1]
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length") or 0)
+            body = await reader.readexactly(length) if length else b""
+            status, payload = await self.app.route(method, path, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except Exception as exc:  # keep the server up; report the fault
+            obs.add("serve.errors")
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            try:
+                out = json.dumps(payload, sort_keys=True).encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} X\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(out)}\r\n"
+                        f"Connection: close\r\n\r\n"
+                    ).encode("latin-1")
+                    + out
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+
+    async def _serve(self) -> None:
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await server.serve_forever()
+
+    def serve_forever(self) -> None:
+        """Run the server on the current thread until interrupted."""
+        asyncio.run(self._serve())
+
+    def start(self) -> "ReproServer":
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self._task = loop.create_task(self._serve())
+            try:
+                loop.run_until_complete(self._task)
+            except asyncio.CancelledError:
+                pass
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=runner, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("repro serve failed to start")
+        return self
+
+    def close(self) -> None:
+        if self._loop is not None and self._task is not None:
+            self._loop.call_soon_threadsafe(self._task.cancel)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None

@@ -126,6 +126,8 @@ class SweepResult:
     benchmarks: Tuple[str, ...]
     keys: Tuple[str, ...]
     outcomes: List[JobOutcome] = field(repr=False)
+    #: which cache backend served the run (``CacheBackend.describe()``)
+    cache_info: Optional[dict] = None
 
     @property
     def cells_per_point(self) -> int:
@@ -166,14 +168,10 @@ class SweepResult:
         :meth:`~repro.engine.StudyResult.write_telemetry`, readable with
         :func:`repro.load_telemetry`)."""
         path = Path(path)
-        path.write_text(
-            json.dumps(
-                {"schema": RECORD_SCHEMA, "records": self.telemetry},
-                indent=1,
-                sort_keys=True,
-            )
-            + "\n"
-        )
+        doc = {"schema": RECORD_SCHEMA, "records": self.telemetry}
+        if self.cache_info is not None:
+            doc["cache"] = self.cache_info
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         return path
 
 
@@ -192,6 +190,9 @@ def run_sweep(
     jobs: Optional[int] = None,
     cache: bool = True,
     cache_dir: Union[str, Path, None] = None,
+    cache_backend: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    dispatcher: Union[str, None, object] = None,
     telemetry: Union[str, Path, None] = None,
 ) -> SweepResult:
     """Run the benchmark x experiment matrix over every sweep point.
@@ -275,7 +276,14 @@ def run_sweep(
         obs.add("sweep.points", len(points))
         obs.add("sweep.cells", len(matrix))
 
-        engine = ExperimentEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        engine = ExperimentEngine(
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            cache_backend=cache_backend,
+            cache_url=cache_url,
+            dispatcher=dispatcher,
+        )
         if use_batched:
             obs.add("sweep.batched_cells", len(matrix))
             outcomes = run_jobs_batched(engine, matrix)
@@ -289,6 +297,7 @@ def run_sweep(
         benchmarks=benchmarks,
         keys=keys,
         outcomes=outcomes,
+        cache_info=engine.cache.describe(),
     )
     if telemetry is not None:
         result.write_telemetry(telemetry)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ExecutionMode, OptimizationConfig, simulate, t3d
+from repro import ExecutionMode, OptimizationConfig, SimOptions, simulate, t3d
 from repro.analysis.timeline import GLYPHS, render_timeline, summarize
 from repro.obs import ChromeTraceSink, MemorySink
 from repro.obs import core as obs
@@ -16,8 +16,7 @@ def traced():
     return simulate(
         compile_demo(OptimizationConfig.full()),
         t3d(4),
-        ExecutionMode.TIMING,
-        trace_rank=0,
+        options=SimOptions.timing(trace_rank=0),
     )
 
 
@@ -58,8 +57,7 @@ class TestTracing:
         traced = simulate(
             compile_demo(OptimizationConfig.full()),
             t3d(4),
-            ExecutionMode.TIMING,
-            trace_rank=2,
+            options=SimOptions.timing(trace_rank=2),
         )
         assert plain.time == traced.time
         assert plain.dynamic_comm_count == traced.dynamic_comm_count

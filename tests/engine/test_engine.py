@@ -1,6 +1,12 @@
-"""Tests for the parallel cached experiment engine."""
+"""Tests for the parallel cached experiment engine.
+
+Setting ``REPRO_TEST_CACHE_BACKEND=sqlite`` (CI does) re-runs the suite
+with studies stored through that backend instead of the directory
+layout; dir-layout-specific tests skip themselves.
+"""
 
 import json
+import os
 import subprocess
 import sys
 
@@ -23,6 +29,14 @@ from repro.programs import small_config
 
 SWM_SMALL = small_config("swm")
 
+#: the backend the study-running tests store through (CI sweeps this)
+TEST_BACKEND = os.environ.get("REPRO_TEST_CACHE_BACKEND") or None
+
+dir_backend_only = pytest.mark.skipif(
+    TEST_BACKEND not in (None, "dir"),
+    reason="exercises the dir backend's on-disk layout",
+)
+
 
 def _study(cache_dir, **kwargs):
     kwargs.setdefault("benchmarks", ("swm",))
@@ -30,6 +44,7 @@ def _study(cache_dir, **kwargs):
     kwargs.setdefault("nprocs", 16)
     kwargs.setdefault("config_overrides", {"swm": SWM_SMALL})
     kwargs.setdefault("cache_dir", cache_dir)
+    kwargs.setdefault("cache_backend", TEST_BACKEND)
     return run_study(**kwargs)
 
 
@@ -138,6 +153,7 @@ def test_no_cache_never_writes(tmp_path):
     assert again.cache_hits == 0
 
 
+@dir_backend_only
 def test_corrupt_cache_entry_is_a_miss(tmp_path):
     _study(tmp_path)
     entries = list(tmp_path.rglob("*.json"))

@@ -1,9 +1,11 @@
-"""The unified ``SimOptions`` API and its one-release deprecation shim.
+"""The unified ``SimOptions`` API.
 
 ``simulate`` historically took ``repeat_cap`` / ``trace_rank`` / ``fast``
-as bare keywords.  Those spellings still work for one release but warn;
-``options=SimOptions(...)`` is the supported form, and mixing the two is
-an error (a silent precedence rule would hide bugs).
+as bare keywords; that shim completed its one-release deprecation cycle
+and is gone.  ``options=SimOptions(...)`` is the only spelling for those
+settings now — bare keywords are a ``TypeError`` — while positional
+``mode`` remains a stable short form.  Mixing ``mode`` with ``options=``
+is an error (a silent precedence rule would hide bugs).
 """
 
 import warnings
@@ -80,33 +82,37 @@ class TestSimOptions:
             opts.repeat_cap = 3
 
 
-class TestDeprecationShim:
-    def test_bare_repeat_cap_warns_and_works(self, program, machine):
-        with pytest.warns(DeprecationWarning, match="repeat_cap"):
-            legacy = simulate(program, machine, repeat_cap=5)
-        modern = simulate(program, machine, options=SimOptions.numeric(repeat_cap=5))
-        assert legacy.warnings == modern.warnings
-        assert any("capped" in w for w in modern.warnings)
+class TestOptionsOnlyAPI:
+    def test_bare_repeat_cap_is_gone(self, program, machine):
+        with pytest.raises(TypeError, match="repeat_cap"):
+            simulate(program, machine, repeat_cap=5)
 
-    def test_bare_trace_rank_warns_and_works(self, program, machine):
-        with pytest.warns(DeprecationWarning, match="trace_rank"):
-            legacy = simulate(
-                program, machine, ExecutionMode.TIMING, trace_rank=0, repeat_cap=5
-            )
-        assert legacy.trace is not None
-        modern = simulate(
+    def test_bare_trace_rank_is_gone(self, program, machine):
+        with pytest.raises(TypeError, match="trace_rank"):
+            simulate(program, machine, ExecutionMode.TIMING, trace_rank=0)
+
+    def test_bare_fast_is_gone(self, program, machine):
+        with pytest.raises(TypeError, match="fast"):
+            simulate(program, machine, ExecutionMode.TIMING, fast=False)
+
+    def test_options_carry_every_setting(self, program, machine):
+        traced = simulate(
             program,
             machine,
             options=SimOptions.timing(trace_rank=0, repeat_cap=5),
         )
-        assert legacy.time == modern.time
-
-    def test_bare_fast_warns(self, program, machine):
-        with pytest.warns(DeprecationWarning, match="fast"):
-            legacy = simulate(
-                program, machine, ExecutionMode.TIMING, fast=False, repeat_cap=5
-            )
-        assert legacy.fastpath is None
+        assert traced.trace is not None
+        walked = simulate(
+            program,
+            machine,
+            options=SimOptions.timing(fast=False, repeat_cap=5),
+        )
+        assert walked.fastpath is None
+        assert walked.time == traced.time
+        capped = simulate(
+            program, machine, options=SimOptions.numeric(repeat_cap=5)
+        )
+        assert any("capped" in w for w in capped.warnings)
 
     def test_positional_mode_is_silent(self, program, machine):
         """Positional mode is NOT deprecated — only the bare keywords."""
@@ -125,15 +131,6 @@ class TestDeprecationShim:
             warnings.simplefilter("error", DeprecationWarning)
             simulate(program, machine, options=SimOptions.timing(repeat_cap=5))
 
-    def test_mixing_options_and_legacy_raises(self, program, machine):
-        with pytest.raises(RuntimeFault, match="repeat_cap"):
-            simulate(
-                program,
-                machine,
-                options=SimOptions.timing(),
-                repeat_cap=5,
-            )
-
     def test_mixing_options_and_mode_raises(self, program, machine):
         with pytest.raises(RuntimeFault, match="mode"):
             simulate(
@@ -143,16 +140,9 @@ class TestDeprecationShim:
                 options=SimOptions.timing(),
             )
 
-    def test_options_equivalent_to_legacy(self, program, machine):
-        with pytest.warns(DeprecationWarning):
-            legacy = simulate(
-                program, machine, ExecutionMode.TIMING, repeat_cap=8, fast=True
-            )
-        modern = simulate(
-            program,
-            machine,
-            options=SimOptions.timing(repeat_cap=8, fast=True),
-        )
-        assert legacy.time == modern.time
-        assert legacy.warnings == modern.warnings
-        assert legacy.dynamic_comm_count == modern.dynamic_comm_count
+    def test_options_equivalent_to_positional_mode(self, program, machine):
+        positional = simulate(program, machine, ExecutionMode.TIMING)
+        modern = simulate(program, machine, options=SimOptions.timing())
+        assert positional.time == modern.time
+        assert positional.warnings == modern.warnings
+        assert positional.dynamic_comm_count == modern.dynamic_comm_count

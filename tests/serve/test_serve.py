@@ -1,0 +1,182 @@
+"""The ``repro serve`` front-end: routing, in-flight dedup, caching.
+
+The server is started in-process on an ephemeral port and driven with
+stdlib ``urllib`` — the same wire a real client uses.  The invariants
+under test: a second identical submission runs zero new jobs (served by
+the result cache, or by joining the in-flight execution), counters
+stream through :mod:`repro.obs`, and malformed requests fail with the
+right status instead of killing the server.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MemorySink, recording
+from repro.obs import core as obs
+from repro.programs import small_config
+from repro.serve import ReproServer, ServeApp
+
+SWM_SMALL = small_config("swm")
+
+STUDY = {
+    "benchmarks": ["swm"],
+    "keys": ["baseline"],
+    "nprocs": 16,
+    "config_overrides": {"swm": SWM_SMALL},
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    app = ServeApp(cache_dir=tmp_path / "cache", cache_backend="sqlite")
+    srv = ReproServer(app).start()
+    yield srv
+    srv.close()
+
+
+def _get(url, path):
+    with urllib.request.urlopen(url + path, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(url, path, payload, timeout=300):
+    req = urllib.request.Request(
+        url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_healthz(server):
+    status, doc = _get(server.url, "/healthz")
+    assert (status, doc) == (200, {"ok": True})
+
+
+def test_study_roundtrip_then_cache_serves_the_rerun(server):
+    with recording(MemorySink()):
+        status, first = _post(server.url, "/v1/study", STUDY)
+        assert status == 200
+        assert first["kind"] == "study"
+        assert first["cells"] == 1
+        assert first["executed"] == 1
+        assert not first["deduped"]
+        assert first["cache"]["backend"] == "sqlite"
+        (cell,) = first["results"]
+        assert cell["benchmark"] == "swm"
+        assert cell["experiment"] == "baseline"
+        assert cell["execution_time"] > 0
+
+        status, second = _post(server.url, "/v1/study", STUDY)
+        counters = obs.counters()
+    assert status == 200
+    # the second identical submission runs zero new jobs
+    assert second["executed"] == 0
+    assert second["cache_hits"] == 1
+    assert second["results"][0]["fingerprint"] == cell["fingerprint"]
+    assert counters["cache.backend.hits"] >= 1
+    assert counters["serve.studies"] == 2
+
+
+def test_identical_inflight_submissions_dedup(server):
+    results = []
+    lock = threading.Lock()
+
+    def submit():
+        _, doc = _post(server.url, "/v1/study", STUDY)
+        with lock:
+            results.append(doc)
+
+    with recording(MemorySink()):
+        threads = [threading.Thread(target=submit) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counters = obs.counters()
+
+    assert len(results) == 3
+    flags = sorted(doc["deduped"] for doc in results)
+    # every joiner shares the one execution; with the in-flight map
+    # consulted at submission, late arrivals may instead land after
+    # completion and be served by the cache — either way zero re-runs
+    assert counters["serve.studies"] + counters.get("serve.dedup", 0) >= 3
+    assert flags.count(True) == counters.get("serve.dedup", 0)
+    fingerprints = {doc["results"][0]["fingerprint"] for doc in results}
+    assert len(fingerprints) == 1
+
+
+def test_sweep_requests_auto_batch(server):
+    payload = {
+        "axes": [{"name": "net.latency", "values": [1e-6, 1e-4]}],
+        "benchmarks": ["swm"],
+        "keys": ["baseline"],
+        "config_overrides": {"swm": SWM_SMALL},
+    }
+    with recording(MemorySink()):
+        status, doc = _post(server.url, "/v1/sweep", payload)
+        counters = obs.counters()
+    assert status == 200
+    assert doc["kind"] == "sweep"
+    assert doc["points"] == 2
+    assert doc["cells"] == 2
+    # cost-only TIMING sweeps route through the batched evaluator
+    assert counters["sweep.batched_cells"] == 2
+    assert counters["serve.sweeps"] == 1
+
+
+def test_stats_route_reports_cache_and_inflight(server):
+    status, doc = _get(server.url, "/stats")
+    assert status == 200
+    assert doc["cache"]["backend"] == "sqlite"
+    assert doc["inflight"] == 0
+    assert isinstance(doc["counters"], dict)
+
+
+def test_unknown_fields_rejected(server):
+    status, doc = _post(server.url, "/v1/study", {"cache_dir": "/elsewhere"})
+    assert status == 400
+    assert "cache_dir" in doc["error"]
+    assert "benchmarks" in doc["allowed"]
+
+
+def test_malformed_body_rejected(server):
+    req = urllib.request.Request(
+        server.url + "/v1/study", data=b"{ not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(req, timeout=30)
+    assert err.value.code == 400
+
+
+def test_unknown_route_404(server):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(server.url + "/v2/nothing", timeout=30)
+    assert err.value.code == 404
+
+
+def test_bad_request_is_422_and_server_survives(server):
+    status, doc = _post(
+        server.url, "/v1/study", {"benchmarks": ["no_such_benchmark"]}
+    )
+    assert status == 422
+    assert "no_such_benchmark" in doc["error"]
+    # the server is still healthy afterwards
+    assert _get(server.url, "/healthz")[0] == 200
+
+
+def test_app_probes_backend_config_eagerly(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_URL", raising=False)
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError, match="URL"):
+        ServeApp(cache_backend="http")

@@ -381,3 +381,72 @@ def test_trace_accepts_set_and_nprocs(tmp_path, capsys):
     assert main(argv) == 0
     assert out.exists()
     assert "bridged timelines:  1 ranks" in capsys.readouterr().out
+
+
+def test_experiments_sqlite_backend_and_sharded_dispatch(tmp_path, capsys):
+    argv = [
+        "experiments",
+        "--bench", "swm",
+        "--procs", "16",
+        "--config", "n=16", "--config", "nsteps=3",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--cache-backend", "sqlite",
+        "--dispatch", "sharded",
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "Figure 8" in cold
+    assert (tmp_path / "cache" / "cache.sqlite").exists()
+    # warm re-run over the sqlite store renders byte-identical tables
+    assert main(argv) == 0
+    assert capsys.readouterr().out == cold
+
+
+def test_shards_flag_requires_sharded_dispatch(tmp_path):
+    with pytest.raises(SystemExit, match="--dispatch sharded"):
+        main([
+            "experiments", "--bench", "swm", "--shards", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+
+
+def test_cache_stats_and_prune(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main([
+        "experiments", "--bench", "swm", "--procs", "16",
+        "--config", "n=16", "--config", "nsteps=3",
+        "--cache-dir", cache_dir, "--cache-backend", "sqlite",
+    ]) == 0
+    capsys.readouterr()
+
+    assert main([
+        "cache", "stats", "--cache-dir", cache_dir,
+        "--cache-backend", "sqlite",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sqlite backend" in out and "6 entries" in out
+
+    # prune refuses to empty the store without an explicit filter
+    with pytest.raises(SystemExit, match="--older-than"):
+        main([
+            "cache", "prune", "--cache-dir", cache_dir,
+            "--cache-backend", "sqlite",
+        ])
+    assert main([
+        "cache", "prune", "--cache-dir", cache_dir,
+        "--cache-backend", "sqlite", "--older-than", "7d",
+    ]) == 0
+    assert "pruned 0 records" in capsys.readouterr().out
+    assert main([
+        "cache", "prune", "--cache-dir", cache_dir,
+        "--cache-backend", "sqlite", "--all",
+    ]) == 0
+    assert "pruned 6 records" in capsys.readouterr().out
+
+
+def test_cache_prune_rejects_bad_duration(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--older-than", "fortnight",
+        ])
