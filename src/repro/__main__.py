@@ -35,7 +35,19 @@ machine-parameter overrides, and ``--no-fast-path``.
     compiler/pass/engine/simulation spans, the cache and IRONMAN
     counters, and the bridged per-rank simulated timelines
     (``--ranks``); ``--jsonl PATH`` additionally writes the raw
-    structured event log.
+    structured event log.  The engine knobs apply: ``--jobs N``/
+    ``--dispatch sharded --shards N`` trace the distributed dispatch
+    paths (worker spans are shipped back and stitched under the
+    coordinator's root span — one trace id across every process), and
+    pointing ``--cache-backend http --cache-url`` at a cache server
+    adds the remote cache calls.  The result cache stays off unless a
+    cache flag is given, so every compile/simulate span is captured.
+
+``top URL``
+    Follow a running study on a ``repro serve`` instance: consume its
+    ``GET /v1/progress/<key>`` stream (picking the live study
+    automatically, or ``--key``) and print per-benchmark progress as
+    job events arrive.
 
 ``compare``
     Re-run a study and diff its counts and times against a committed
@@ -76,6 +88,7 @@ machine-parameter overrides, and ``--no-fast-path``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -341,22 +354,26 @@ def cmd_trace(args) -> int:
         )
     except MachineError as exc:
         raise SystemExit(f"trace: {exc}") from None
+    engine_kwargs = _engine_kwargs(args)
+    # historical default: serial and uncached, so every compile phase,
+    # optimizer pass, and cache counter lands in-process.  An explicit
+    # cache flag opts the (remote) cache into the trace instead.
+    if not (args.cache_dir or args.cache_backend or args.cache_url):
+        engine_kwargs["cache"] = False
     sinks = [obs.ChromeTraceSink(args.out)]
     if args.jsonl:
         sinks.append(obs.JsonlSink(args.jsonl))
     recorder = obs.configure(*sinks)
     try:
         with recorder.span("trace", benchmark=args.bench):
-            # the whole study, serial and uncached, so every compile
-            # phase, optimizer pass, and cache counter lands in-process
             run_study(
                 benchmarks=(args.bench,),
                 nprocs=args.nprocs,
                 machine=mspec,
                 config_overrides={args.bench: overrides} if overrides else None,
                 fast=False if args.no_fast_path else None,
-                jobs=1,
-                cache=False,
+                telemetry=args.telemetry,
+                **engine_kwargs,
             )
             # bridge per-rank simulated timelines at the chosen key into
             # the same trace document (model time, separate process row)
@@ -393,6 +410,11 @@ def cmd_trace(args) -> int:
     print(f"bridged timelines:  {min(args.ranks, args.nprocs)} ranks, "
           f"{bridged} events ({args.opt} on {args.machine}/{args.nprocs})")
     print(f"counters recorded:  {len(counters)}")
+    print(f"trace id:           {recorder.trace_id}")
+    if args.dispatch == "sharded":
+        print(f"dispatch:           sharded "
+              f"({counters.get('engine.dispatch.shards', 0)} shards, "
+              f"{counters.get('engine.dispatch.jobs', 0)} dispatched jobs)")
     return 0
 
 
@@ -592,12 +614,99 @@ def cmd_serve(args) -> int:
     server = ReproServer(app, host=args.host, port=args.port).start()
     print(f"repro serve listening on {server.url}")
     print(f"cache: {app.cache_info['backend']} at {app.cache_info['location']}")
-    print("routes: GET /healthz | GET /stats | POST /v1/study | POST /v1/sweep")
+    print("routes: GET /healthz | GET /stats | GET /metrics | "
+          "GET /v1/progress[/<key>] | POST /v1/study | POST /v1/sweep")
     try:
         server._thread.join()
     except KeyboardInterrupt:
         server.close()
     return 0
+
+
+def cmd_top(args) -> int:
+    import time as _time
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+
+    url = args.url.rstrip("/")
+    if "/v1/progress/" in url:
+        stream_url = url
+    else:
+        # a bare server URL: find a study to watch (prefer a live one,
+        # else the most recently started), polling until --timeout
+        key = args.key
+        deadline = _time.monotonic() + args.timeout
+        while key is None:
+            try:
+                with urlrequest.urlopen(
+                    f"{url}/v1/progress", timeout=5
+                ) as resp:
+                    studies = json.loads(resp.read()).get("studies", [])
+            except (OSError, ValueError, urlerror.URLError) as exc:
+                print(f"top: cannot reach {url}: {exc}", file=sys.stderr)
+                return 1
+            live = [s for s in studies if not s.get("done")]
+            pool = live or studies
+            if pool:
+                key = max(pool, key=lambda s: s.get("started", 0))["key"]
+                break
+            if _time.monotonic() >= deadline:
+                print(f"top: no study submitted to {url} within "
+                      f"{args.timeout:.0f}s", file=sys.stderr)
+                return 1
+            _time.sleep(0.2)
+        stream_url = f"{url}/v1/progress/{key}"
+
+    per_bench: dict = {}
+    jobs_seen = 0
+    total = None
+    try:
+        with urlrequest.urlopen(stream_url, timeout=args.timeout) as resp:
+            for raw in resp:  # chunked JSONL; urllib de-chunks for us
+                line = raw.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                kind = event.get("event")
+                if kind == "start":
+                    total = event.get("cells")
+                    print(f"watching {event.get('kind', 'study')} "
+                          f"{event.get('key', '')[:12]} "
+                          f"({total if total is not None else '?'} cells)")
+                elif kind == "job":
+                    jobs_seen += 1
+                    bench = event.get("benchmark", "?")
+                    counts = per_bench.setdefault(bench, [0, 0])
+                    counts[0] += 1
+                    if event.get("status") == "cached":
+                        counts[1] += 1
+                    print(f"[{jobs_seen}/{total if total is not None else '?'}] "
+                          f"{bench:<10} {event.get('experiment', '?'):<14} "
+                          f"{event.get('status', '?')}")
+                elif kind == "retry":
+                    print(f"          {event.get('benchmark', '?'):<10} "
+                          f"{event.get('experiment', '?'):<14} "
+                          f"retry ({event.get('reason', '?')})")
+                elif kind == "error":
+                    print(f"error: {event.get('error')}", file=sys.stderr)
+                    return 1
+                elif kind == "done":
+                    for bench in sorted(per_bench):
+                        done, cached = per_bench[bench]
+                        print(f"  {bench:<10} {done} jobs "
+                              f"({cached} cache hits)")
+                    print(f"done: {event.get('cells')} cells, "
+                          f"{event.get('executed')} executed, "
+                          f"{event.get('cache_hits')} cache hits")
+                    return 0
+    except urlerror.HTTPError as exc:
+        print(f"top: {stream_url} -> HTTP {exc.code}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError, urlerror.URLError) as exc:
+        print(f"top: stream failed: {exc}", file=sys.stderr)
+        return 1
+    print("top: stream ended without a done event", file=sys.stderr)
+    return 1
 
 
 def cmd_figure6(args) -> int:
@@ -653,7 +762,7 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "trace",
         help="run one benchmark's study with tracing on",
-        parents=[_sim_parent(64)],
+        parents=[_sim_parent(64), _engine_parent()],
     )
     p.add_argument("bench", choices=BENCHMARKS)
     p.add_argument("--out", required=True, metavar="PATH",
@@ -763,6 +872,22 @@ def main(argv=None) -> int:
     p.add_argument("--port", type=int, default=8751,
                    help="listen port (default 8751; 0 picks one)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="stream a serve instance's live study progress",
+    )
+    p.add_argument(
+        "url", metavar="URL",
+        help="a `repro serve` base URL (watches the newest study) or a "
+        "direct /v1/progress/<key> stream URL",
+    )
+    p.add_argument("--key", default=None, metavar="KEY",
+                   help="watch this progress key instead of the newest")
+    p.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                   help="seconds to wait for a study to appear and for "
+                   "stream reads (default 30)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("figure6", help="run the synthetic overhead benchmark")
     p.add_argument("--reps", type=int, default=1000)

@@ -59,10 +59,19 @@ def run_jobs_batched(
     for entry in misses:
         cells.setdefault(_cell_key(entry[1]), []).append(entry)
 
+    trace = obs.active_trace()
     for entries in cells.values():
         records = execute_cell_batched([job for _, job, _ in entries])
         for (i, job, fp), record in zip(entries, records):
             engine.cache.put(fp, record)
+            if trace is not None:
+                record = dict(record, trace=trace)
+                obs.event(
+                    "engine.job",
+                    benchmark=job.benchmark,
+                    experiment=job.experiment,
+                    status="batched",
+                )
             outcomes[i] = JobOutcome(job=job, record=record, cached=False)
 
     return [o for o in outcomes if o is not None]

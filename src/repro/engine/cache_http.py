@@ -17,6 +17,19 @@ hosts.  Atomicity composes: the server applies each PUT through the
 delegate backend's own atomic ``put``, and the client treats every
 transport failure, non-200, or invalid body as a miss (reads) or a
 counted best-effort failure (writes), matching the backend contract.
+
+Degraded mode is *observable*: a transport-level failure (server
+unreachable — as opposed to an HTTP 404, the normal miss) increments
+``cache.backend.degraded`` and emits one deduplicated ``warning``
+event per process (:func:`repro.obs.core.warn_once`), so a study
+silently falling back to misses shows up in `/stats`, `/metrics`, and
+traces.
+
+Tracing propagates through the protocol: when the client process is
+recording, each request carries the run's trace context in the
+``X-Repro-Trace`` header, and the server handler (when *its* process
+records) wraps the request in a span adopting that context — so remote
+cache calls land in the caller's stitched trace.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from urllib import request as urlrequest
 
 from repro.engine.cache import CacheBackend, CacheStats, validate_record
 from repro.obs import core as obs
+from repro.obs import distributed
 
 __all__ = ["CacheServer", "HttpCache"]
 
@@ -49,42 +63,78 @@ class HttpCache:
         self, method: str, path: str, body: Optional[dict] = None
     ) -> Optional[bytes]:
         data = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        parent = obs.trace_parent()
+        if parent is not None:
+            headers[distributed.TRACE_HEADER] = (
+                f"{parent[0]}/{parent[1] or ''}"
+            )
         req = urlrequest.Request(
             f"{self.url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
         )
         with urlrequest.urlopen(req, timeout=self.timeout) as resp:
             return resp.read()
 
+    def _degraded(self, exc: BaseException) -> None:
+        """A transport-level failure (not an HTTP status): the server is
+        unreachable and this client is degrading to cache misses."""
+        obs.add("cache.backend.degraded")
+        obs.warn_once(
+            f"cache server {self.url} unreachable; degrading to misses "
+            f"({type(exc).__name__})",
+            backend=self.kind,
+        )
+
     def get(self, fingerprint: str) -> Optional[dict]:
-        try:
-            payload = self._request("GET", f"/records/{fingerprint}")
-            record = json.loads(payload)
-        except (OSError, ValueError, urlerror.URLError):
-            # 404 (a plain miss) lands here too, as urllib raises
-            # HTTPError (an OSError) for it
-            obs.add("cache.backend.misses")
-            return None
-        record = validate_record(record, fingerprint)
-        obs.add("cache.backend.hits" if record is not None else "cache.backend.misses")
-        return record
+        with obs.span("cache.http.get", fingerprint=fingerprint[:12]):
+            try:
+                payload = self._request("GET", f"/records/{fingerprint}")
+                record = json.loads(payload)
+            except urlerror.HTTPError:
+                # an HTTP status (404) is the normal miss — the server
+                # answered, nothing is degraded
+                obs.add("cache.backend.misses")
+                return None
+            except (OSError, ValueError, urlerror.URLError) as exc:
+                self._degraded(exc)
+                obs.add("cache.backend.misses")
+                return None
+            record = validate_record(record, fingerprint)
+            obs.add(
+                "cache.backend.hits" if record is not None else "cache.backend.misses"
+            )
+            return record
 
     def put(self, fingerprint: str, record: dict) -> None:
-        try:
-            self._request("PUT", f"/records/{fingerprint}", body=record)
-            obs.add("engine.result_cache.store")
-            obs.add("cache.backend.stores")
-        except (OSError, ValueError, TypeError, urlerror.URLError):
-            obs.add("engine.result_cache.store_error")
-            obs.add("cache.backend.store_errors")
+        with obs.span("cache.http.put", fingerprint=fingerprint[:12]):
+            try:
+                self._request("PUT", f"/records/{fingerprint}", body=record)
+                obs.add("engine.result_cache.store")
+                obs.add("cache.backend.stores")
+            except urlerror.HTTPError:
+                obs.add("engine.result_cache.store_error")
+                obs.add("cache.backend.store_errors")
+            except (ValueError, TypeError):
+                # unserializable record — a client-side bug, not an
+                # unreachable server
+                obs.add("engine.result_cache.store_error")
+                obs.add("cache.backend.store_errors")
+            except (OSError, urlerror.URLError) as exc:
+                self._degraded(exc)
+                obs.add("engine.result_cache.store_error")
+                obs.add("cache.backend.store_errors")
 
     def stats(self) -> CacheStats:
         stats = CacheStats(backend=self.kind, location=self.url)
         try:
             doc = json.loads(self._request("GET", "/stats"))
-        except (OSError, ValueError, urlerror.URLError):
+        except urlerror.HTTPError:
+            return stats
+        except (OSError, ValueError, urlerror.URLError) as exc:
+            self._degraded(exc)
             return stats
         stats.entries = int(doc.get("entries", 0))
         stats.bytes = int(doc.get("bytes", 0))
@@ -107,7 +157,10 @@ class HttpCache:
         try:
             doc = json.loads(self._request("POST", "/prune", body=body))
             return int(doc.get("removed", 0))
-        except (OSError, ValueError, urlerror.URLError):
+        except urlerror.HTTPError:
+            return 0
+        except (OSError, ValueError, urlerror.URLError) as exc:
+            self._degraded(exc)
             return 0
 
     def describe(self) -> dict:
@@ -144,47 +197,59 @@ class _CacheHandler(BaseHTTPRequestHandler):
     def _backend(self) -> CacheBackend:
         return self.server.backend  # type: ignore[attr-defined]
 
+    def _trace_header(self) -> Optional[str]:
+        return self.headers.get(distributed.TRACE_HEADER)
+
     def do_GET(self) -> None:  # noqa: N802
         obs.add("cache.server.requests")
-        if self.path.startswith("/records/"):
-            fingerprint = self.path[len("/records/") :]
-            record = self._backend.get(fingerprint)
-            if record is None:
-                self._send_json(404, {"error": "miss"})
+        with distributed.server_span(
+            "cache.server.get", self._trace_header(), path=self.path
+        ):
+            if self.path.startswith("/records/"):
+                fingerprint = self.path[len("/records/") :]
+                record = self._backend.get(fingerprint)
+                if record is None:
+                    self._send_json(404, {"error": "miss"})
+                else:
+                    self._send_json(200, record)
+            elif self.path == "/stats":
+                self._send_json(200, self._backend.stats().as_dict())
+            elif self.path == "/healthz":
+                self._send_json(200, {"ok": True})
             else:
-                self._send_json(200, record)
-        elif self.path == "/stats":
-            self._send_json(200, self._backend.stats().as_dict())
-        elif self.path == "/healthz":
-            self._send_json(200, {"ok": True})
-        else:
-            self._send_json(404, {"error": f"no route {self.path}"})
+                self._send_json(404, {"error": f"no route {self.path}"})
 
     def do_PUT(self) -> None:  # noqa: N802
         obs.add("cache.server.requests")
-        if not self.path.startswith("/records/"):
-            self._send_json(404, {"error": f"no route {self.path}"})
-            return
-        fingerprint = self.path[len("/records/") :]
-        record = self._read_body()
-        if record is None:
-            self._send_json(400, {"error": "body is not a JSON object"})
-            return
-        self._backend.put(fingerprint, record)
-        self.send_response(204)
-        self.send_header("Content-Length", "0")
-        self.end_headers()
+        with distributed.server_span(
+            "cache.server.put", self._trace_header(), path=self.path
+        ):
+            if not self.path.startswith("/records/"):
+                self._send_json(404, {"error": f"no route {self.path}"})
+                return
+            fingerprint = self.path[len("/records/") :]
+            record = self._read_body()
+            if record is None:
+                self._send_json(400, {"error": "body is not a JSON object"})
+                return
+            self._backend.put(fingerprint, record)
+            self.send_response(204)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
 
     def do_POST(self) -> None:  # noqa: N802
         obs.add("cache.server.requests")
-        if self.path != "/prune":
-            self._send_json(404, {"error": f"no route {self.path}"})
-            return
-        body = self._read_body() or {}
-        removed = self._backend.prune(
-            older_than=body.get("older_than"), schema=body.get("schema")
-        )
-        self._send_json(200, {"removed": removed})
+        with distributed.server_span(
+            "cache.server.prune", self._trace_header(), path=self.path
+        ):
+            if self.path != "/prune":
+                self._send_json(404, {"error": f"no route {self.path}"})
+                return
+            body = self._read_body() or {}
+            removed = self._backend.prune(
+                older_than=body.get("older_than"), schema=body.get("schema")
+            )
+            self._send_json(200, {"removed": removed})
 
 
 class CacheServer:

@@ -79,12 +79,21 @@ def partition_jobs(
     execution path (per-job, batched, sharded) goes through it."""
     outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
     misses: List[Tuple[int, Job, str]] = []
+    trace = obs.active_trace()
     for i, job in enumerate(jobs):
         fp = job.fingerprint()
         record = cache.get(fp)
         if record is not None:
             obs.add("engine.result_cache.hit")
             record = dict(record, cache_hit=True)
+            if trace is not None:
+                record["trace"] = trace
+                obs.event(
+                    "engine.job",
+                    benchmark=job.benchmark,
+                    experiment=job.experiment,
+                    status="cached",
+                )
             outcomes[i] = JobOutcome(job=job, record=record, cached=True)
         else:
             obs.add("engine.result_cache.miss")
@@ -148,8 +157,14 @@ class ExperimentEngine:
                 todo = [job for _, job, _ in misses]
                 records = self.dispatcher.dispatch(todo)
                 pid = os.getpid()
+                trace = obs.active_trace()
                 for (i, job, fp), record in zip(misses, records):
                     self.cache.put(fp, record)
+                    if trace is not None:
+                        # the outcome copy carries the run's trace id into
+                        # telemetry envelopes; the cached record stays
+                        # trace-free (it is content, not provenance)
+                        record = dict(record, trace=trace)
                     outcomes[i] = JobOutcome(job=job, record=record, cached=False)
                     if record.get("worker_pid") != pid:
                         # pool workers start with tracing off; their

@@ -45,6 +45,7 @@ from typing import Iterable, List, Optional, Protocol, Sequence, Tuple, Union, r
 
 from repro.errors import ExperimentError
 from repro.obs import core as obs
+from repro.obs import distributed
 
 from repro.engine.jobs import Job
 from repro.engine.worker import execute_job
@@ -117,6 +118,36 @@ def _job_failure(job: Job, exc: BaseException) -> ExperimentError:
     )
 
 
+def _pool_kwargs() -> dict:
+    """Extra ``ProcessPoolExecutor`` kwargs: when the coordinator is
+    tracing, initialize every pool worker with the run's trace context
+    so per-job captures stitch under it (no-op kwargs otherwise — the
+    disabled path constructs the pool exactly as before)."""
+    context = distributed.propagation_context()
+    if context is None:
+        return {}
+    return {
+        "initializer": distributed.worker_init,
+        "initargs": (context.trace_id, context.span_id),
+    }
+
+
+def _job_event(job: Job, status: str, **extra) -> None:
+    """One ``engine.job`` lifecycle event per job completion — what the
+    serve progress streams (and `repro top`) are fed from.  Terminal
+    completions only: exactly one per job per dispatch (retries emit
+    ``engine.job.retry`` instead)."""
+    if not obs.enabled():
+        return
+    obs.event(
+        "engine.job",
+        benchmark=job.benchmark,
+        experiment=job.experiment,
+        status=status,
+        **extra,
+    )
+
+
 class LocalDispatcher:
     """The classic engine loop: inline, or ``pool.map`` over workers."""
 
@@ -138,7 +169,9 @@ class LocalDispatcher:
             # Larger chunks amortize pickling/IPC; the /4 keeps enough
             # chunks in flight to balance uneven job costs.
             chunksize = max(1, len(jobs) // (self.workers * 4))
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=self.workers, **_pool_kwargs()
+            ) as pool:
                 return _drain(
                     pool.map(execute_job, jobs, chunksize=chunksize), jobs
                 )
@@ -150,6 +183,7 @@ class LocalDispatcher:
                 raise
             except Exception as exc:
                 raise _job_failure(job, exc) from exc
+            _job_event(job, "done")
         return records
 
 
@@ -171,6 +205,8 @@ def _drain(results: Iterable[dict], todo: Sequence[Job]) -> List[dict]:
             raise
         except Exception as exc:
             raise _job_failure(todo[len(records)], exc) from exc
+        distributed.absorb(record)
+        _job_event(todo[len(records)], "done")
         records.append(record)
 
 
@@ -285,7 +321,9 @@ class ShardedDispatcher:
         )
 
         pending = deque(shards)
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=self.workers, **_pool_kwargs()
+        ) as pool:
             running: dict = {}
 
             def submit_next(stolen: bool) -> None:
@@ -320,13 +358,30 @@ class ShardedDispatcher:
                         # dead worker: every job of the shard is retried
                         obs.add("engine.dispatch.dead_shards")
                         obs.add("engine.dispatch.retries", len(shard))
-                        retries.extend((i, job, 1, None) for i, job in shard)
+                        for index, job in shard:
+                            retries.append((index, job, 1, None))
+                            if obs.enabled():
+                                obs.event(
+                                    "engine.job.retry",
+                                    benchmark=job.benchmark,
+                                    experiment=job.experiment,
+                                    reason="dead_shard",
+                                )
                         continue
                     for (index, job), outcome in zip(shard, results):
                         if outcome[0] == "ok":
+                            distributed.absorb(outcome[1])
                             records[index] = outcome[1]
+                            _job_event(job, "done")
                         else:
                             obs.add("engine.dispatch.retries")
+                            if obs.enabled():
+                                obs.event(
+                                    "engine.job.retry",
+                                    benchmark=job.benchmark,
+                                    experiment=job.experiment,
+                                    reason="error",
+                                )
                             retries.append((index, job, 1, outcome[1]))
 
     def _run_with_retry(
@@ -344,17 +399,35 @@ class ShardedDispatcher:
                 time.sleep(self.backoff * (2 ** (attempt - 1)))
             try:
                 _inject(job, attempt, self.faults, in_worker=False)
-                return execute_job(job)
+                record = execute_job(job)
             except ExperimentError as exc:
                 last_error = str(exc)
                 attempt += 1
                 if attempt <= self.max_retries:
                     obs.add("engine.dispatch.retries")
+                    if obs.enabled():
+                        obs.event(
+                            "engine.job.retry",
+                            benchmark=job.benchmark,
+                            experiment=job.experiment,
+                            reason="error",
+                        )
             except Exception as exc:
                 last_error = str(_job_failure(job, exc))
                 attempt += 1
                 if attempt <= self.max_retries:
                     obs.add("engine.dispatch.retries")
+                    if obs.enabled():
+                        obs.event(
+                            "engine.job.retry",
+                            benchmark=job.benchmark,
+                            experiment=job.experiment,
+                            reason="error",
+                        )
+            else:
+                distributed.absorb(record)
+                _job_event(job, "done", attempt=attempt)
+                return record
 
 
 def make_dispatcher(

@@ -39,7 +39,9 @@ from repro.obs.core import (
     Metrics,
     Recorder,
     Span,
+    active_trace,
     add,
+    bind_trace,
     bridge_rank_trace,
     configure,
     counters,
@@ -51,15 +53,24 @@ from repro.obs.core import (
     recording,
     shutdown,
     span,
+    trace_parent,
+    warn_once,
 )
-from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
+from repro.obs.distributed import (
+    TRACE_HEADER,
+    TraceContext,
+    render_prometheus,
+)
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, QueueSink, Sink
 
 __all__ = [
     # core
     "Metrics",
     "Recorder",
     "Span",
+    "active_trace",
     "add",
+    "bind_trace",
     "bridge_rank_trace",
     "configure",
     "counters",
@@ -71,10 +82,17 @@ __all__ = [
     "recording",
     "shutdown",
     "span",
+    "trace_parent",
+    "warn_once",
+    # distributed
+    "TRACE_HEADER",
+    "TraceContext",
+    "render_prometheus",
     # sinks
     "ChromeTraceSink",
     "JsonlSink",
     "MemorySink",
+    "QueueSink",
     "Sink",
     # baselines
     "BASELINE_SCHEMA",

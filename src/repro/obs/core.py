@@ -19,22 +19,42 @@ Host-side records (spans, counters, events) are stamped in seconds of
 simulation timelines (:func:`bridge_rank_trace`) are in *model seconds*
 — a different clock entirely — and sinks keep them in a separate
 process group so the two never get compared by accident.
+
+Trace identity
+--------------
+
+Every recorder owns a **trace id** (random hex, minted at
+construction) and stamps it on every record it emits, and every span
+gets a process-unique **span id** plus the id of its parent (the
+enclosing span on this thread, or the recorder's ``parent_span`` for
+top-level spans — how a shipped worker trace parents under its
+coordinator; see :mod:`repro.obs.distributed`).  :func:`bind_trace`
+overrides both per *thread of execution* (a contextvar), which is how
+``repro serve`` attributes records from concurrently running studies
+to the right run.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+import uuid
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, List, Optional
+from contextvars import ContextVar
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Metrics",
     "Recorder",
     "Span",
+    "active_trace",
     "add",
+    "bind_trace",
     "bridge_rank_trace",
     "configure",
     "current",
+    "discard",
     "enabled",
     "event",
     "gauge",
@@ -42,7 +62,16 @@ __all__ = [
     "recording",
     "shutdown",
     "span",
+    "trace_parent",
+    "warn_once",
 ]
+
+# Per-thread-of-execution (trace_id, parent_span_id) override installed
+# by bind_trace(); lets one process attribute records from concurrent
+# runs (e.g. repro serve work threads) to the right trace.
+_RUN_TRACE: ContextVar[Optional[Tuple[str, Optional[str]]]] = ContextVar(
+    "repro_obs_run_trace", default=None
+)
 
 
 class Metrics:
@@ -91,34 +120,73 @@ class Metrics:
             "histograms": {k: dict(v) for k, v in self.histograms.items()},
         }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges keep the incoming value (last write wins),
+        histograms combine count/sum/min/max.  This is how worker-side
+        registries shipped back by the dispatchers land in the
+        coordinator (see :mod:`repro.obs.distributed`).
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauges[name] = float(value)
+        for name, incoming in (snapshot.get("histograms") or {}).items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = dict(incoming)
+            else:
+                mine["count"] += incoming["count"]
+                mine["sum"] += incoming["sum"]
+                mine["min"] = min(mine["min"], incoming["min"])
+                mine["max"] = max(mine["max"], incoming["max"])
+
 
 class Span:
     """One timed interval, emitted on exit.
 
     Created only through :meth:`Recorder.span`; supports nesting (the
-    recorder tracks the stack, and the emitted record carries the
-    depth and the dotted path of enclosing span names).
+    recorder tracks a per-thread stack, and the emitted record carries
+    the depth plus this span's ``id`` and its ``parent`` span id).
     """
 
-    __slots__ = ("_recorder", "name", "attrs", "_t0", "_depth")
+    __slots__ = ("_recorder", "name", "attrs", "_t0", "_depth", "id", "parent")
 
-    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        recorder: "Recorder",
+        name: str,
+        attrs: Dict[str, Any],
+        parent: Optional[str] = None,
+    ) -> None:
         self._recorder = recorder
         self.name = name
         self.attrs = attrs
         self._t0 = 0.0
         self._depth = 0
+        self.id = ""
+        self.parent = parent
 
     def __enter__(self) -> "Span":
-        self._depth = len(self._recorder._stack)
-        self._recorder._stack.append(self.name)
-        self._t0 = self._recorder.now()
+        rec = self._recorder
+        stack = rec._stack()
+        self._depth = len(stack)
+        self.id = rec.next_span_id()
+        if self.parent is None:
+            if stack:
+                self.parent = stack[-1][1]
+            else:
+                bound = _RUN_TRACE.get()
+                self.parent = bound[1] if bound is not None else rec.parent_span
+        stack.append((self.name, self.id))
+        self._t0 = rec.now()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         end = self._recorder.now()
-        stack = self._recorder._stack
-        if stack and stack[-1] == self.name:
+        stack = self._recorder._stack()
+        if stack and stack[-1][1] == self.id:
             stack.pop()
         record = {
             "type": "span",
@@ -126,7 +194,10 @@ class Span:
             "ts": self._t0,
             "dur": end - self._t0,
             "depth": self._depth,
+            "id": self.id,
         }
+        if self.parent is not None:
+            record["parent"] = self.parent
         if self.attrs:
             record["attrs"] = self.attrs
         if exc_type is not None:
@@ -156,12 +227,30 @@ class Recorder:
     Records are plain dicts (see :mod:`repro.obs.sinks` for the shapes);
     the metrics registry additionally accumulates in memory so a final
     summary record lands in every sink at :meth:`close`.
+
+    ``trace_id`` identifies every record this recorder emits (a worker
+    recorder is constructed with the coordinator's trace id so the
+    stitched output is one trace); ``parent_span`` is the span id that
+    top-level spans parent under when no enclosing span exists on the
+    current thread.
     """
 
-    def __init__(self, sinks: Iterable[Any] = ()) -> None:
+    def __init__(
+        self,
+        sinks: Iterable[Any] = (),
+        *,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
+    ) -> None:
         self.sinks: List[Any] = list(sinks)
         self.metrics = Metrics()
-        self._stack: List[str] = []
+        self.trace_id = trace_id or uuid.uuid4().hex
+        self.parent_span = parent_span
+        # Span ids are "<8 hex>:<n>" — the random prefix makes ids from
+        # worker recorders globally unique, so stitching never remaps.
+        self._span_prefix = uuid.uuid4().hex[:8]
+        self._span_seq = itertools.count(1)
+        self._tls = threading.local()
         self._epoch = time.perf_counter()
         self.wall_epoch = time.time()
         self._closed = False
@@ -171,13 +260,34 @@ class Recorder:
         """Seconds since this recorder's epoch (host clock)."""
         return time.perf_counter() - self._epoch
 
+    # -- span identity -------------------------------------------------
+    def next_span_id(self) -> str:
+        return f"{self._span_prefix}:{next(self._span_seq)}"
+
+    def _stack(self) -> List[Tuple[str, str]]:
+        """The per-thread (name, span id) stack of open spans."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def current_span_id(self) -> Optional[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack:
+            return stack[-1][1]
+        return None
+
     # -- emission ------------------------------------------------------
     def emit(self, record: dict) -> None:
+        if "trace" not in record:
+            bound = _RUN_TRACE.get()
+            record["trace"] = bound[0] if bound is not None else self.trace_id
         for sink in self.sinks:
             sink.emit(record)
 
-    def span(self, name: str, **attrs: Any) -> Span:
-        return Span(self, name, attrs)
+    def span(self, name: str, _parent: Optional[str] = None, **attrs: Any) -> Span:
+        return Span(self, name, attrs, parent=_parent)
 
     def event(self, name: str, **attrs: Any) -> None:
         record: Dict[str, Any] = {"type": "event", "name": name, "ts": self.now()}
@@ -232,6 +342,31 @@ class Recorder:
         self.metrics.add(f"sim.trace.rank{rank}.events", n)
         return n
 
+    def merge_worker(self, payload: dict) -> int:
+        """Stitch a worker-side capture payload (see
+        :func:`repro.obs.distributed.begin_job_capture`) into this
+        recorder: re-emit the worker's records with timestamps rebased
+        onto this recorder's epoch and tagged with the worker pid, and
+        fold the worker's metrics registry into ours.
+
+        Returns the number of records re-emitted.
+        """
+        delta = float(payload.get("wall_epoch", self.wall_epoch)) - self.wall_epoch
+        pid = payload.get("pid")
+        n = 0
+        for record in payload.get("records", ()):
+            out = dict(record)
+            if "ts" in out:
+                out["ts"] = out["ts"] + delta
+            if pid is not None:
+                out["worker_pid"] = pid
+            self.emit(out)
+            n += 1
+        metrics = payload.get("metrics")
+        if metrics:
+            self.metrics.merge(metrics)
+        return n
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> dict:
         """Emit the final metrics summary, close every sink, and return
@@ -261,15 +396,21 @@ def enabled() -> bool:
     return _ACTIVE is not None
 
 
-def configure(*sinks: Any) -> Recorder:
+def configure(
+    *sinks: Any,
+    trace_id: Optional[str] = None,
+    parent_span: Optional[str] = None,
+) -> Recorder:
     """Install a fresh recorder writing to ``sinks`` and return it.
 
-    Replaces (and closes) any previously active recorder.
+    Replaces (and closes) any previously active recorder.  ``trace_id``
+    and ``parent_span`` seed the recorder's trace identity — used by
+    pool workers so their records stitch under the coordinator's root.
     """
     global _ACTIVE
     if _ACTIVE is not None:
         _ACTIVE.close()
-    _ACTIVE = Recorder(sinks)
+    _ACTIVE = Recorder(sinks, trace_id=trace_id, parent_span=parent_span)
     return _ACTIVE
 
 
@@ -281,6 +422,17 @@ def shutdown() -> Optional[dict]:
     if recorder is None:
         return None
     return recorder.close()
+
+
+def discard() -> None:
+    """Drop the active recorder WITHOUT flushing its sinks.
+
+    For forked children that inherit the parent's live recorder:
+    closing it there would flush the parent's sinks (e.g. write the
+    trace file) from the child, so the inherited reference is simply
+    abandoned."""
+    global _ACTIVE
+    _ACTIVE = None
 
 
 @contextmanager
@@ -343,3 +495,72 @@ def counters() -> Dict[str, int]:
     """Live counter snapshot ({} when tracing is off) — test helper."""
     r = _ACTIVE
     return dict(r.metrics.counters) if r is not None else {}
+
+
+# -- trace identity helpers ------------------------------------------------
+
+
+def active_trace() -> Optional[str]:
+    """The trace id records emitted *here, now* would be stamped with:
+    the :func:`bind_trace` override if one is in effect, else the
+    active recorder's id; None when tracing is off."""
+    r = _ACTIVE
+    if r is None:
+        return None
+    bound = _RUN_TRACE.get()
+    return bound[0] if bound is not None else r.trace_id
+
+
+def trace_parent() -> Optional[Tuple[str, Optional[str]]]:
+    """The ``(trace_id, span_id)`` context a child of the current
+    execution point should parent under — the innermost open span on
+    this thread, falling back to the bound/recorder parent.  None when
+    tracing is off.  This is what the dispatchers and :class:`HttpCache`
+    propagate outward."""
+    r = _ACTIVE
+    if r is None:
+        return None
+    bound = _RUN_TRACE.get()
+    trace = bound[0] if bound is not None else r.trace_id
+    span_id = r.current_span_id()
+    if span_id is None:
+        span_id = bound[1] if bound is not None else r.parent_span
+    return trace, span_id
+
+
+@contextmanager
+def bind_trace(trace_id: str, parent_span: Optional[str] = None):
+    """Attribute records emitted in this context (and tasks it spawns
+    on the same thread of execution) to ``trace_id``, parenting
+    top-level spans under ``parent_span``.  Nests; restores on exit."""
+    token = _RUN_TRACE.set((trace_id, parent_span))
+    try:
+        yield
+    finally:
+        _RUN_TRACE.reset(token)
+
+
+# -- once-per-process warnings --------------------------------------------
+
+_WARNED_ONCE: set = set()
+
+
+def warn_once(message: str, **attrs: Any) -> bool:
+    """Emit a ``warning`` event exactly once per process per message
+    (set-backed dedup, mirroring ``Instrumentation.warn``).  Returns
+    True when the event was emitted.  Safe to call with tracing off —
+    the dedup set still records the message so enabling tracing later
+    does not replay old warnings."""
+    if message in _WARNED_ONCE:
+        return False
+    _WARNED_ONCE.add(message)
+    r = _ACTIVE
+    if r is not None:
+        r.event("warning", message=message, **attrs)
+        return True
+    return False
+
+
+def reset_warnings() -> None:
+    """Clear the once-per-process warning dedup set — test helper."""
+    _WARNED_ONCE.clear()

@@ -1,0 +1,241 @@
+"""Distributed tracing: one trace across coordinator, pool/shard
+workers, and the HTTP cache server.
+
+The coordinator's recorder owns the run's **trace context** — its trace
+id plus the span id of whatever span encloses the dispatch.  This
+module moves that context across the three process boundaries the
+engine has and brings the evidence back:
+
+* **Pool workers** — the dispatchers pass :func:`worker_init` as the
+  ``ProcessPoolExecutor`` initializer (only when tracing is on, so the
+  disabled path stays untouched).  Inside the worker,
+  :func:`begin_job_capture` starts a throwaway recorder per job, seeded
+  with the coordinator's trace id and parented under its dispatch span;
+  the capture payload rides home on the job record under the ``"obs"``
+  key, and the dispatcher calls :func:`absorb` to pop it and stitch it
+  into the coordinator's recorder (timestamps rebased via the worker's
+  wall-clock epoch, records tagged ``worker_pid``, worker metrics
+  merged into the registry).
+* **HTTP cache** — :class:`~repro.engine.cache_http.HttpCache` sends
+  the context as the ``X-Repro-Trace: <trace_id>/<span_id>`` header;
+  the ``CacheServer`` handler wraps each request in
+  :func:`server_span`, which adopts the caller's context so
+  server-side spans land in the caller's trace (when the server
+  process records at all).
+* **Prometheus** — :func:`render_prometheus` renders a metrics
+  snapshot in the text exposition format for ``GET /metrics`` on
+  ``repro serve``.
+
+Span ids are globally unique strings (random prefix per recorder), so
+stitching is pure concatenation — no id remapping.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs import core
+from repro.obs.sinks import MemorySink
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "absorb",
+    "begin_job_capture",
+    "propagation_context",
+    "render_prometheus",
+    "server_span",
+    "worker_init",
+]
+
+#: HTTP header carrying "<trace_id>/<parent_span_id>".
+TRACE_HEADER = "X-Repro-Trace"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A propagatable (trace id, parent span id) pair."""
+
+    trace_id: str
+    span_id: Optional[str] = None
+
+    def header(self) -> str:
+        return f"{self.trace_id}/{self.span_id or ''}"
+
+    @classmethod
+    def from_header(cls, value: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a ``TRACE_HEADER`` value; None when absent/malformed."""
+        if not value or "/" not in value:
+            return None
+        trace_id, _, span_id = value.partition("/")
+        trace_id = trace_id.strip()
+        span_id = span_id.strip()
+        if not trace_id:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id or None)
+
+
+def propagation_context() -> Optional[TraceContext]:
+    """The context to hand a child process/request from the current
+    execution point; None when tracing is off (children then run with
+    tracing off too — the zero-cost default)."""
+    parent = core.trace_parent()
+    if parent is None:
+        return None
+    return TraceContext(trace_id=parent[0], span_id=parent[1])
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: Set once per worker process by worker_init (pool initializer).
+_WORKER_CONTEXT: Optional[TraceContext] = None
+
+
+def worker_init(trace_id: str, span_id: Optional[str]) -> None:
+    """``ProcessPoolExecutor`` initializer: remember the coordinator's
+    trace context so job executions in this worker capture under it.
+
+    A *forked* worker (the Linux default) also inherits the
+    coordinator's live recorder; discard that reference — without
+    flushing its sinks, which belong to the parent — so per-job
+    captures start clean instead of recording into a dead copy."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = TraceContext(trace_id=trace_id, span_id=span_id)
+    if core.enabled():
+        core.discard()
+
+
+class JobCapture:
+    """A per-job throwaway recorder inside a pool worker.
+
+    :meth:`finish` tears it down and returns the JSON-safe payload the
+    job record carries home (``{"pid", "wall_epoch", "records",
+    "metrics"}``).
+    """
+
+    def __init__(self, context: TraceContext) -> None:
+        self.sink = MemorySink()
+        self.recorder = core.configure(
+            self.sink, trace_id=context.trace_id, parent_span=context.span_id
+        )
+
+    def finish(self) -> dict:
+        wall_epoch = self.recorder.wall_epoch
+        if core.current() is self.recorder:
+            metrics = core.shutdown()
+        else:  # replaced mid-job; still close our own
+            metrics = self.recorder.close()
+        records = [r for r in self.sink.records if r.get("type") != "metrics"]
+        return {
+            "pid": os.getpid(),
+            "wall_epoch": wall_epoch,
+            "records": records,
+            "metrics": metrics or {},
+        }
+
+
+def begin_job_capture() -> Optional[JobCapture]:
+    """Start capturing obs output for one job in a pool worker.
+
+    Returns None (capture nothing) unless this process was initialized
+    with :func:`worker_init` — i.e. the coordinator is tracing — and no
+    recorder is already live here (inline dispatch records directly
+    into the coordinator's recorder; wrapping it would steal records).
+    """
+    if _WORKER_CONTEXT is None or core.enabled():
+        return None
+    return JobCapture(_WORKER_CONTEXT)
+
+
+def absorb(record: Optional[dict]) -> int:
+    """Pop a job record's ``"obs"`` payload (if any) and stitch it into
+    the active recorder.  Dispatchers call this on every record as it
+    arrives, *before* the record reaches the result cache or the
+    caller, so records stay byte-identical to an untraced run.  Returns
+    the number of stitched records."""
+    if not record:
+        return 0
+    payload = record.pop("obs", None)
+    if not payload:
+        return 0
+    recorder = core.current()
+    if recorder is None:
+        return 0
+    return recorder.merge_worker(payload)
+
+
+# ---------------------------------------------------------------------------
+# server side (HTTP cache)
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def server_span(name: str, header: Optional[str], **attrs: Any):
+    """Wrap one server-side request in a span parented under the
+    caller's trace context (parsed from the ``TRACE_HEADER`` value).
+
+    No-op when the server process isn't recording; plain local span
+    when the caller sent no (or a malformed) header.
+    """
+    recorder = core.current()
+    if recorder is None:
+        yield
+        return
+    context = TraceContext.from_header(header)
+    if context is None:
+        with recorder.span(name, **attrs):
+            yield
+        return
+    with core.bind_trace(context.trace_id, context.span_id):
+        with recorder.span(name, **attrs):
+            yield
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted metric name into a legal Prometheus name."""
+    clean = _NAME_RE.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`~repro.obs.core.Metrics.snapshot` in Prometheus
+    text exposition format (version 0.0.4).
+
+    Counters get a ``_total`` suffix (``engine.dispatch.jobs`` →
+    ``engine_dispatch_jobs_total``); gauges render as-is; histograms
+    render as a summary (``_count``/``_sum``) plus ``_min``/``_max``
+    gauges.
+    """
+    lines = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in sorted((snapshot.get("histograms") or {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {hist['count']}")
+        lines.append(f"{metric}_sum {hist['sum']}")
+        for bound in ("min", "max"):
+            lines.append(f"# TYPE {metric}_{bound} gauge")
+            lines.append(f"{metric}_{bound} {hist[bound]}")
+    return "\n".join(lines) + "\n" if lines else ""

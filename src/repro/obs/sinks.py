@@ -16,26 +16,31 @@ Recorder` emits:
 ``metrics``
     The final registry snapshot, emitted once at close.
 
-Three sinks ship:
+Four sinks ship:
 
 * :class:`MemorySink` — a list, for tests and in-process inspection;
 * :class:`JsonlSink` — one JSON object per line, the machine-readable
-  event log (CI uploads it as an artifact);
+  event log (CI uploads it as an artifact); ``flush_every=1`` makes it
+  line-buffered (crash-safe streaming for long sweeps);
 * :class:`ChromeTraceSink` — a Chrome trace-event JSON document that
   Perfetto (https://ui.perfetto.dev) loads directly.  Host spans and
-  counters land under the "host" process; bridged rank timelines land
-  under the "simulated ranks" process with one thread per rank, so one
-  file shows compiler phases, engine cache traffic, and the simulated
-  machine side by side.
+  counters land under the "host" process; records stitched back from
+  pool/shard workers (tagged ``worker_pid``) each get their own
+  process; bridged rank timelines land under the "simulated ranks"
+  process with one thread per rank, so one file shows compiler phases,
+  engine cache traffic, shard workers, and the simulated machine side
+  by side;
+* :class:`QueueSink` — pushes (optionally filtered) records onto any
+  object with ``put(record)``; feeds ``repro serve`` progress streams.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-__all__ = ["ChromeTraceSink", "JsonlSink", "MemorySink", "Sink"]
+__all__ = ["ChromeTraceSink", "JsonlSink", "MemorySink", "QueueSink", "Sink"]
 
 
 class Sink:
@@ -86,15 +91,33 @@ class MemorySink(Sink):
 
 class JsonlSink(Sink):
     """Append records as JSON lines to a file (created eagerly, so an
-    empty trace still leaves a valid, empty log)."""
+    empty trace still leaves a valid, empty log).
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``flush_every=N`` flushes the file every N records; ``flush_every=1``
+    is the line-buffered mode — every record hits the disk as one
+    complete line, so a process killed mid-run leaves a valid JSONL
+    file (at worst the final line is truncated).  The default (None)
+    keeps full buffering: flush only at close.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], *, flush_every: Optional[int] = None
+    ) -> None:
+        if flush_every is not None and flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.path = Path(path)
+        self.flush_every = flush_every
+        self._since_flush = 0
         self._fh = self.path.open("w", encoding="utf-8")
 
     def emit(self, record: dict) -> None:
         self._fh.write(json.dumps(record, sort_keys=True, default=str))
         self._fh.write("\n")
+        if self.flush_every is not None:
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                self._fh.flush()
+                self._since_flush = 0
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -102,27 +125,72 @@ class JsonlSink(Sink):
             self._fh.close()
 
 
+class QueueSink(Sink):
+    """Push records onto any object with a ``put(record)`` method
+    (``queue.Queue``, a progress log, ...).
+
+    ``types`` keeps only the listed record types; ``trace`` keeps only
+    records stamped with that trace id.  Both default to no filtering.
+    Feeds the ``repro serve`` progress streams: one QueueSink per
+    in-flight run, filtered to that run's trace id.
+    """
+
+    def __init__(
+        self,
+        queue,
+        *,
+        types: Optional[Tuple[str, ...]] = None,
+        trace: Optional[str] = None,
+    ) -> None:
+        self.queue = queue
+        self.types = tuple(types) if types is not None else None
+        self.trace = trace
+
+    def emit(self, record: dict) -> None:
+        if self.types is not None and record.get("type") not in self.types:
+            return
+        if self.trace is not None and record.get("trace") != self.trace:
+            return
+        self.queue.put(record)
+
+
 #: Chrome-trace process ids: host-side records vs. bridged model time.
+#: Records stitched back from pool/shard workers get pids counted up
+#: from WORKER_PID_BASE, one per distinct worker_pid.
 HOST_PID = 1
 SIM_PID = 2
+WORKER_PID_BASE = 100
 
 
 class ChromeTraceSink(Sink):
     """Accumulate a Chrome trace-event document; write it on close.
 
-    All host records go to pid ``HOST_PID`` / tid 0 (complete events
+    Coordinator records go to pid ``HOST_PID`` / tid 0 (complete events
     nest by containment, which the recorder's span stack guarantees);
-    each bridged simulation rank becomes a thread of pid ``SIM_PID``
-    with timestamps in model microseconds.  Counters become ``"C"``
-    events so Perfetto renders them as tracks.
+    records carrying a ``worker_pid`` tag (stitched back from
+    pool/shard workers) each get a dedicated chrome process named after
+    the worker; each bridged simulation rank becomes a thread of pid
+    ``SIM_PID`` with timestamps in model microseconds.  Counters become
+    ``"C"`` events so Perfetto renders them as tracks.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.trace_events: List[dict] = []
         self._sim_ranks: set = set()
+        self._worker_pids: Dict[int, int] = {}
         self._metrics: Optional[dict] = None
         self._closed = False
+
+    def _host_pid(self, record: dict) -> int:
+        worker = record.get("worker_pid")
+        if worker is None:
+            return HOST_PID
+        pid = self._worker_pids.get(worker)
+        if pid is None:
+            pid = WORKER_PID_BASE + len(self._worker_pids)
+            self._worker_pids[worker] = pid
+        return pid
 
     # -- record translation --------------------------------------------
     def emit(self, record: dict) -> None:
@@ -134,7 +202,7 @@ class ChromeTraceSink(Sink):
                 "ph": "X",
                 "ts": record["ts"] * 1e6,
                 "dur": record["dur"] * 1e6,
-                "pid": HOST_PID,
+                "pid": self._host_pid(record),
                 "tid": 0,
             }
             args = dict(record.get("attrs") or {})
@@ -151,7 +219,7 @@ class ChromeTraceSink(Sink):
                     "ph": "i",
                     "s": "p",
                     "ts": record["ts"] * 1e6,
-                    "pid": HOST_PID,
+                    "pid": self._host_pid(record),
                     "tid": 0,
                     "args": dict(record.get("attrs") or {}),
                 }
@@ -163,7 +231,7 @@ class ChromeTraceSink(Sink):
                     "cat": type_,
                     "ph": "C",
                     "ts": record["ts"] * 1e6,
-                    "pid": HOST_PID,
+                    "pid": self._host_pid(record),
                     "args": {"value": record["value"]},
                 }
             )
@@ -202,6 +270,24 @@ class ChromeTraceSink(Sink):
                 "args": {"name": "repro"},
             },
         ]
+        for worker, pid in sorted(self._worker_pids.items(), key=lambda kv: kv[1]):
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
         if self._sim_ranks:
             meta.append(
                 {

@@ -18,10 +18,14 @@ than a thin RPC wrapper:
   cost-only TIMING sweep evaluates each ``benchmark x experiment``
   cell's variants in one :func:`repro.runtime.simulate_many` call.
 
-Protocol (all bodies JSON)::
+Protocol (bodies JSON unless noted)::
 
-    GET  /healthz   -> 200 {"ok": true}
-    GET  /stats     -> 200 {"cache": ..., "counters": ..., "inflight": n}
+    GET  /healthz            -> 200 {"ok": true}
+    GET  /stats              -> 200 {"cache", "counters", "inflight",
+                                     "uptime_s", "endpoints", "progress"}
+    GET  /metrics            -> 200 Prometheus text exposition
+    GET  /v1/progress        -> 200 {"studies": [progress summaries]}
+    GET  /v1/progress/<key>  -> 200 chunked JSONL job-lifecycle stream
     POST /v1/study  <- run_study kwargs subset  -> 200 result summary
     POST /v1/sweep  <- run_sweep kwargs subset  -> 200 result summary
 
@@ -29,6 +33,18 @@ Counters: ``serve.requests``, ``serve.studies``, ``serve.sweeps``,
 ``serve.dedup``, ``serve.errors`` — streamed through :mod:`repro.obs`
 like the rest of the stack (enable a sink in the serving process to
 collect them; ``GET /stats`` reports the live registry either way).
+
+**Progress streaming.**  Each accepted submission gets a progress key
+(returned as ``"key"`` in the summary — the same fingerprint-derived
+key the in-flight dedup uses) and runs under its own trace id
+(:func:`repro.obs.core.bind_trace`), with a
+:class:`~repro.obs.sinks.QueueSink` filtered to that trace feeding a
+replayable per-run :class:`ProgressLog`.  ``GET /v1/progress/<key>``
+streams the log as chunked JSONL — one object per line: a ``start``
+event, one ``job`` event per completed cell (status ``done`` /
+``cached`` / ``batched``), ``retry`` events, and a terminal ``done``
+(or ``error``) event.  Late subscribers replay from the start; the
+stream ends when the run does.  ``repro top URL`` renders it live.
 """
 
 from __future__ import annotations
@@ -37,15 +53,25 @@ import asyncio
 import hashlib
 import json
 import threading
+import time
+import uuid
+from collections import OrderedDict
 from functools import partial
-from typing import Dict, Optional, Tuple
+from typing import AsyncIterator, Dict, List, Optional, Tuple, Union
 
 from repro.engine.core import ExperimentEngine, build_matrix, run_study
 from repro.errors import ReproError
 from repro.obs import core as obs
+from repro.obs.distributed import render_prometheus
+from repro.obs.sinks import QueueSink
 from repro.sweep import SweepAxis, run_sweep
 
-__all__ = ["ReproServer", "ServeApp"]
+__all__ = ["ProgressLog", "ReproServer", "ServeApp"]
+
+#: how often a progress stream polls its log for new events (seconds)
+_STREAM_POLL_S = 0.05
+#: retained progress logs; finished logs are evicted oldest-first past this
+_PROGRESS_CAP = 128
 
 #: request-payload keys forwarded to :func:`repro.run_study`
 _STUDY_KEYS = frozenset(
@@ -75,6 +101,99 @@ _SWEEP_KEYS = frozenset(
         "batched",
     }
 )
+
+
+class ProgressLog:
+    """The replayable job-lifecycle event log of one submission.
+
+    Thread-safe: the engine work thread appends, asyncio stream
+    handlers snapshot.  Events are plain dicts; the log never drops —
+    a subscriber that connects after the run finished still replays
+    every event from the start.
+    """
+
+    def __init__(self, key: str, kind: str, total: Optional[int] = None) -> None:
+        self.key = key
+        self.kind = kind
+        self.total = total
+        self.started = time.time()
+        self._events: List[dict] = []
+        self._done = False
+        self._lock = threading.Lock()
+        self.append({"event": "start", "kind": kind, "key": key, "cells": total})
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._done
+
+    def append(self, event: dict) -> None:
+        with self._lock:
+            if not self._done:
+                self._events.append(event)
+
+    def finish(self, event: dict) -> None:
+        with self._lock:
+            if not self._done:
+                self._events.append(event)
+                self._done = True
+
+    def snapshot(self, start: int = 0) -> Tuple[List[dict], bool]:
+        """Events from index ``start`` on, plus the done flag — the
+        polling contract the stream generator uses."""
+        with self._lock:
+            return self._events[start:], self._done
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "key": self.key,
+                "kind": self.kind,
+                "cells": self.total,
+                "events": len(self._events),
+                "done": self._done,
+                "started": self.started,
+            }
+
+
+class _ProgressAdapter:
+    """The ``put()`` target a :class:`~repro.obs.sinks.QueueSink` feeds:
+    translates ``engine.job`` / ``engine.job.retry`` obs events into
+    progress-log entries (other events pass through unmatched)."""
+
+    def __init__(self, log: ProgressLog) -> None:
+        self.log = log
+
+    def put(self, record: dict) -> None:
+        name = record.get("name")
+        if name == "engine.job":
+            self.log.append(
+                {"event": "job", "ts": time.time(), **(record.get("attrs") or {})}
+            )
+        elif name == "engine.job.retry":
+            self.log.append(
+                {"event": "retry", "ts": time.time(), **(record.get("attrs") or {})}
+            )
+
+
+class PlainTextResponse:
+    """A non-JSON response body (``GET /metrics``)."""
+
+    def __init__(
+        self, text: str, content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+    ) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
+class StreamResponse:
+    """A chunked response fed by an async generator of ``bytes``."""
+
+    def __init__(
+        self, chunks: AsyncIterator[bytes], content_type: str = "application/x-ndjson"
+    ) -> None:
+        self.chunks = chunks
+        self.content_type = content_type
 
 
 class ServeApp:
@@ -108,6 +227,9 @@ class ServeApp:
         # fails at startup, not on the first request
         self.cache_info = ExperimentEngine(**self.engine_kwargs).cache.describe()
         self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._progress: "OrderedDict[str, ProgressLog]" = OrderedDict()
+        self._started = time.time()
+        self._endpoints: Dict[str, int] = {}
 
     # -- request keys -------------------------------------------------
 
@@ -115,12 +237,16 @@ class ServeApp:
         """Key a study by the content fingerprints of its job matrix —
         two requests that expand to the same jobs dedup even when the
         payloads spell the machine differently."""
+        key, _ = self._study_key_and_size(payload)
+        return key
+
+    def _study_key_and_size(self, payload: dict) -> Tuple[str, int]:
         jobs = _study_matrix(payload)
         digest = hashlib.sha256()
         for job in jobs:
             digest.update(job.fingerprint().encode())
             digest.update(b"\n")
-        return "study:" + digest.hexdigest()
+        return "study:" + digest.hexdigest(), len(jobs)
 
     def _sweep_key(self, payload: dict) -> str:
         canon = json.dumps(payload, sort_keys=True, default=str)
@@ -150,9 +276,11 @@ class ServeApp:
 
     async def submit(self, kind: str, payload: dict) -> dict:
         """Run (or join) a request; identical in-flight submissions
-        share one execution."""
+        share one execution (and one progress log)."""
+        total: Optional[int] = None
         if kind == "study":
-            key, work = self._study_key(payload), self._run_study
+            key, total = self._study_key_and_size(payload)
+            work = self._run_study
         else:
             key, work = self._sweep_key(payload), self._run_sweep
 
@@ -162,31 +290,149 @@ class ServeApp:
         if deduped:
             obs.add("serve.dedup")
         else:
-            task = loop.run_in_executor(None, partial(work, payload))
+            log = self._new_progress(key, kind, total)
+            task = loop.run_in_executor(
+                None, partial(self._run_logged, work, payload, log)
+            )
             task.add_done_callback(partial(self._settle, key))
             self._inflight[key] = task
         result = await asyncio.shield(task)
-        return dict(result, deduped=deduped)
+        return dict(result, deduped=deduped, key=key)
+
+    def _run_logged(self, work, payload: dict, log: ProgressLog) -> dict:
+        """Execute one submission on a worker thread under its own trace
+        id, with a QueueSink (filtered to that trace) feeding the
+        progress log — concurrent runs in one serving process never
+        cross-talk their job events."""
+        if not obs.enabled():
+            # progress streaming needs a live recorder; an empty one is
+            # the minimum (the CLI installs a MemorySink anyway)
+            obs.configure()
+        recorder = obs.current()
+        run_trace = uuid.uuid4().hex
+        sink = QueueSink(
+            _ProgressAdapter(log), types=("event",), trace=run_trace
+        )
+        recorder.sinks.append(sink)
+        try:
+            with obs.bind_trace(run_trace):
+                result = work(payload)
+        except BaseException as exc:
+            log.finish({"event": "error", "ts": time.time(), "error": str(exc)})
+            raise
+        else:
+            log.finish(
+                {
+                    "event": "done",
+                    "ts": time.time(),
+                    "cells": result.get("cells"),
+                    "executed": result.get("executed"),
+                    "cache_hits": result.get("cache_hits"),
+                }
+            )
+            return result
+        finally:
+            try:
+                recorder.sinks.remove(sink)
+            except ValueError:
+                pass
 
     def _settle(self, key: str, task: "asyncio.Future") -> None:
         self._inflight.pop(key, None)
         if not task.cancelled():
             task.exception()  # retrieved by every awaiter; silence the loop
 
+    # -- progress -----------------------------------------------------
+
+    def _new_progress(self, key: str, kind: str, total: Optional[int]) -> ProgressLog:
+        log = self._progress.get(key)
+        if log is not None and not log.done:
+            return log  # resubmission racing _settle; keep the live log
+        log = ProgressLog(key, kind, total)
+        self._progress[key] = log
+        self._progress.move_to_end(key)
+        while len(self._progress) > _PROGRESS_CAP:
+            stale = next(
+                (k for k, v in self._progress.items() if v.done), None
+            )
+            if stale is None:
+                break  # never evict an in-flight log
+            del self._progress[stale]
+        return log
+
+    async def _stream_progress(self, log: ProgressLog) -> AsyncIterator[bytes]:
+        """Replay the log from the start, then follow it (poll) until
+        the run finishes — chunked JSONL, one event per line."""
+        index = 0
+        while True:
+            events, done = log.snapshot(index)
+            index += len(events)
+            for event in events:
+                yield (json.dumps(event, sort_keys=True) + "\n").encode()
+            if not events:
+                if done:
+                    return
+                await asyncio.sleep(_STREAM_POLL_S)
+
+    def _metrics_text(self) -> str:
+        recorder = obs.current()
+        snap = (
+            recorder.metrics.snapshot()
+            if recorder is not None
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        lines = [
+            "# TYPE serve_uptime_seconds gauge",
+            f"serve_uptime_seconds {time.time() - self._started:.3f}",
+        ]
+        if self._endpoints:
+            lines.append("# TYPE serve_endpoint_requests_total counter")
+            for endpoint, count in sorted(self._endpoints.items()):
+                lines.append(
+                    f'serve_endpoint_requests_total{{endpoint="{endpoint}"}} {count}'
+                )
+        return render_prometheus(snap) + "\n".join(lines) + "\n"
+
     # -- routing ------------------------------------------------------
 
     async def route(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, PlainTextResponse, StreamResponse]]:
         obs.add("serve.requests")
+        endpoint = path
+        if path.startswith("/v1/progress/"):
+            endpoint = "/v1/progress/*"
+        endpoint = f"{method} {endpoint}"
+        self._endpoints[endpoint] = self._endpoints.get(endpoint, 0) + 1
         if method == "GET" and path == "/healthz":
             return 200, {"ok": True}
         if method == "GET" and path == "/stats":
+            counters = obs.counters()
             return 200, {
                 "cache": self.cache_info,
-                "counters": obs.counters(),
+                "counters": counters,
+                "dispatch": {
+                    k: v
+                    for k, v in counters.items()
+                    if k.startswith("engine.dispatch.")
+                },
                 "inflight": len(self._inflight),
+                "uptime_s": time.time() - self._started,
+                "endpoints": dict(self._endpoints),
+                "progress": len(self._progress),
             }
+        if method == "GET" and path == "/metrics":
+            return 200, PlainTextResponse(self._metrics_text())
+        if method == "GET" and path == "/v1/progress":
+            return 200, {
+                "studies": [log.describe() for log in self._progress.values()]
+            }
+        if method == "GET" and path.startswith("/v1/progress/"):
+            key = path[len("/v1/progress/") :]
+            log = self._progress.get(key)
+            if log is None:
+                return 404, {"error": f"unknown progress key {key!r}"}
+            return 200, StreamResponse(self._stream_progress(log))
         if method == "POST" and path in ("/v1/study", "/v1/sweep"):
             kind = path.rsplit("/", 1)[1]
             try:
@@ -309,26 +555,59 @@ class ReproServer:
             body = await reader.readexactly(length) if length else b""
             status, payload = await self.app.route(method, path, body)
         except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
             return
         except Exception as exc:  # keep the server up; report the fault
             obs.add("serve.errors")
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        finally:
-            try:
-                out = json.dumps(payload, sort_keys=True).encode()
+        try:
+            if isinstance(payload, StreamResponse):
+                await self._write_stream(writer, status, payload)
+            else:
+                if isinstance(payload, PlainTextResponse):
+                    out = payload.text.encode()
+                    content_type = payload.content_type
+                else:
+                    out = json.dumps(payload, sort_keys=True).encode()
+                    content_type = "application/json"
                 writer.write(
                     (
                         f"HTTP/1.1 {status} X\r\n"
-                        f"Content-Type: application/json\r\n"
+                        f"Content-Type: {content_type}\r\n"
                         f"Content-Length: {len(out)}\r\n"
                         f"Connection: close\r\n\r\n"
                     ).encode("latin-1")
                     + out
                 )
                 await writer.drain()
-            except ConnectionError:
-                pass
+        except ConnectionError:
+            pass
+        finally:
             writer.close()
+
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, status: int, payload: StreamResponse
+    ) -> None:
+        """Chunked transfer encoding: each event is one chunk, flushed
+        immediately, so subscribers see job events as they happen.  A
+        disconnecting subscriber just ends its generator — the run it
+        was watching is unaffected."""
+        writer.write(
+            (
+                f"HTTP/1.1 {status} X\r\n"
+                f"Content-Type: {payload.content_type}\r\n"
+                f"Transfer-Encoding: chunked\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        async for chunk in payload.chunks:
+            if not chunk:
+                continue
+            writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
 
     async def _serve(self) -> None:
         server = await asyncio.start_server(self._handle, self.host, self.port)

@@ -207,6 +207,111 @@ def test_fault_spec_matching():
     assert not FaultSpec(experiment="cc").matches(job)
 
 
+# ---------------------------------------------------------------------------
+# distributed observability: worker capture, job events, counter parity
+# ---------------------------------------------------------------------------
+
+
+def test_pool_worker_spans_are_stitched_into_the_coordinator_trace():
+    jobs = _matrix(keys=("baseline", "cc", "pl"))
+    sink = MemorySink()
+    with recording(sink) as rec:
+        records = ShardedDispatcher(workers=2, shards=3, backoff=0).dispatch(
+            jobs
+        )
+    # the worker capture payload is popped before records reach anyone
+    assert all("obs" not in r for r in records)
+    worker_spans = [
+        r
+        for r in sink.records
+        if r["type"] == "span" and "worker_pid" in r
+    ]
+    assert worker_spans, "worker-side spans must ship back to the coordinator"
+    assert {r["trace"] for r in worker_spans} == {rec.trace_id}
+    # every job runs under a worker-side "job" span (compile spans only
+    # appear when the forked worker's compile cache is cold)
+    assert {r["name"] for r in worker_spans} >= {"job"}
+    assert sum(r["name"] == "job" for r in worker_spans) == len(jobs)
+    # worker span ids are globally unique: no id collides across pids
+    ids = [r["id"] for r in sink.records if r["type"] == "span"]
+    assert len(ids) == len(set(ids))
+
+
+def test_dispatch_emits_one_job_event_per_job():
+    jobs = _matrix(keys=("baseline", "cc", "pl"))
+    for dispatcher in (
+        LocalDispatcher(),
+        LocalDispatcher(workers=2),
+        ShardedDispatcher(workers=2, shards=3, backoff=0),
+    ):
+        sink = MemorySink()
+        with recording(sink):
+            dispatcher.dispatch(jobs)
+        events = [r for r in sink.records if r.get("name") == "engine.job"]
+        assert len(events) == len(jobs), dispatcher.kind
+        assert {e["attrs"]["status"] for e in events} == {"done"}
+        assert {
+            (e["attrs"]["benchmark"], e["attrs"]["experiment"]) for e in events
+        } == {(j.benchmark, j.experiment) for j in jobs}
+
+
+def test_retry_emits_retry_events_and_still_one_done():
+    jobs = _matrix(keys=("baseline",))
+    d = ShardedDispatcher(
+        workers=1,
+        backoff=0,
+        faults=[FaultSpec(benchmark="swm", experiment="baseline", times=2)],
+    )
+    sink = MemorySink()
+    with recording(sink):
+        d.dispatch(jobs)
+    retries = [r for r in sink.records if r.get("name") == "engine.job.retry"]
+    done = [r for r in sink.records if r.get("name") == "engine.job"]
+    assert len(retries) == 2
+    assert {r["attrs"]["reason"] for r in retries} == {"error"}
+    assert len(done) == 1 and done[0]["attrs"]["status"] == "done"
+
+
+def test_worker_counters_merge_into_the_coordinator_registry():
+    jobs = _matrix(keys=("baseline", "cc", "pl"))
+    with recording(MemorySink()):
+        LocalDispatcher().dispatch(jobs)
+        inline = obs.counters()
+    with recording(MemorySink()):
+        ShardedDispatcher(workers=2, shards=3, backoff=0).dispatch(jobs)
+        pooled = obs.counters()
+    sim_inline = {k: v for k, v in inline.items() if k.startswith("sim.")}
+    sim_pooled = {k: v for k, v in pooled.items() if k.startswith("sim.")}
+    assert sim_inline and sim_inline == sim_pooled
+
+
+def test_counter_parity_local_vs_sharded_on_the_paper_matrix():
+    """The regression gate: the same simulator work happens (and is
+    counted) no matter which dispatcher ran it, across the full paper
+    matrix.  Only ``sim.*`` counters are comparable — compile-cache
+    counters legitimately differ per worker process."""
+    from repro.programs import BENCHMARKS
+
+    cfg = {b: small_config(b) for b in BENCHMARKS}
+
+    def sim_counters(**kw):
+        with recording(MemorySink()):
+            run_study(
+                benchmarks=BENCHMARKS,
+                nprocs=16,
+                config_overrides=cfg,
+                cache=False,
+                **kw,
+            )
+            return {
+                k: v for k, v in obs.counters().items() if k.startswith("sim.")
+            }
+
+    local = sim_counters()
+    sharded = sim_counters(dispatcher="sharded", jobs=2)
+    assert local and local == sharded
+
+
 def test_dispatch_counters_flow_through_the_engine(tmp_path):
     engine = ExperimentEngine(
         cache_dir=tmp_path, dispatcher=ShardedDispatcher(workers=1, backoff=0)

@@ -146,6 +146,7 @@ class TestRecorder:
             "label": "A",
             "ts": 0.0,
             "dur": 1.5,
+            "trace": rec.trace_id,
         }
         assert rec.metrics.counters["sim.trace.rank3.events"] == 2
 

@@ -114,6 +114,129 @@ class TestChromeTrace:
         assert any(e["ph"] == "i" for e in doc["traceEvents"])
 
 
+class TestJsonlFlushEvery:
+    def test_rejects_nonpositive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlSink(tmp_path / "e.jsonl", flush_every=0)
+
+    def test_line_buffered_mode_is_readable_before_close(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = JsonlSink(path, flush_every=1)
+        try:
+            sink.emit({"type": "event", "name": "a", "ts": 0.0})
+            sink.emit({"type": "event", "name": "b", "ts": 1.0})
+            # flushed per record: both lines visible while still open
+            lines = [json.loads(l) for l in path.read_text().splitlines()]
+            assert [r["name"] for r in lines] == ["a", "b"]
+        finally:
+            sink.close()
+
+    def test_default_buffering_flushes_only_at_close(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = JsonlSink(path)
+        try:
+            sink.emit({"type": "event", "name": "a", "ts": 0.0})
+            assert path.read_text() == ""  # small record: still buffered
+        finally:
+            sink.close()
+        assert json.loads(path.read_text())["name"] == "a"
+
+    def test_batched_flush_interval(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = JsonlSink(path, flush_every=3)
+        try:
+            for i in range(5):
+                sink.emit({"type": "event", "name": str(i), "ts": 0.0})
+            assert len(path.read_text().splitlines()) == 3  # one flush at 3
+        finally:
+            sink.close()
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_killed_writer_leaves_valid_jsonl(self, tmp_path):
+        """SIGKILL a process streaming through ``flush_every=1`` — every
+        fully flushed line must parse (the final line may be cut)."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        path = tmp_path / "killed.jsonl"
+        code = (
+            "import itertools, sys\n"
+            "from repro.obs import JsonlSink\n"
+            "from repro.obs import core as obs\n"
+            f"obs.configure(JsonlSink({str(path)!r}, flush_every=1))\n"
+            "for i in itertools.count():\n"
+            "    obs.event('tick', i=i, payload='x' * 64)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            env=dict(os.environ, PYTHONPATH="src"),
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if path.exists() and path.stat().st_size > 4096:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("writer produced no output in time")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        lines = path.read_text().splitlines()
+        assert len(lines) > 10
+        complete = lines if path.read_text().endswith("\n") else lines[:-1]
+        records = [json.loads(line) for line in complete]  # all parse
+        # and the stream is the contiguous event sequence, nothing lost
+        assert [r["attrs"]["i"] for r in records] == list(range(len(records)))
+
+
+class TestQueueSink:
+    def test_unfiltered_passes_everything(self):
+        from repro.obs import QueueSink
+
+        got = []
+
+        class Q:
+            def put(self, r):
+                got.append(r)
+
+        with obs.recording(QueueSink(Q())):
+            obs.add("c")
+            obs.event("e")
+        assert [r["type"] for r in got] == ["counter", "event", "metrics"]
+
+    def test_type_and_trace_filters(self):
+        from repro.obs import QueueSink
+
+        got = []
+
+        class Q:
+            def put(self, r):
+                got.append(r)
+
+        sink = QueueSink(Q(), types=("event",), trace="run1")
+        with obs.recording(sink):
+            obs.event("wrong-trace")
+            with obs.bind_trace("run1"):
+                obs.add("counter-filtered")
+                obs.event("kept")
+        assert [r["name"] for r in got] == ["kept"]
+
+    def test_feeds_a_real_queue(self):
+        import queue
+
+        from repro.obs import QueueSink
+
+        q = queue.Queue()
+        with obs.recording(QueueSink(q, types=("event",))):
+            obs.event("x")
+        assert q.get_nowait()["name"] == "x"
+
+
 class TestFanOut:
     def test_all_sinks_receive_every_record(self, tmp_path):
         mem = MemorySink()

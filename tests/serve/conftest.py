@@ -1,0 +1,15 @@
+"""Shared serve-test hygiene: ``ServeApp._run_logged`` installs a bare
+recorder when none is live (progress streaming needs one), so every
+test must start and end with tracing off or recorder state would leak
+across tests."""
+
+import pytest
+
+from repro.obs import core as obs
+
+
+@pytest.fixture(autouse=True)
+def tracing_off():
+    obs.shutdown()
+    yield
+    obs.shutdown()

@@ -1,0 +1,266 @@
+"""Progress streaming, the metrics endpoint, and the extended /stats.
+
+The invariants under test: every job produces exactly one streamed
+``job`` event plus one terminal ``done`` event; a subscriber that
+connects mid-run (or after the run) still replays the full log from
+the start; ``GET /metrics`` renders a parseable Prometheus exposition;
+``GET /stats`` reports uptime, per-endpoint request counts, and the
+``engine.dispatch.*`` counters.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MemorySink, recording
+from repro.programs import small_config
+from repro.serve import ProgressLog, ReproServer, ServeApp
+
+SWM_SMALL = small_config("swm")
+
+STUDY = {
+    "benchmarks": ["swm"],
+    "keys": ["baseline", "cc"],
+    "nprocs": 16,
+    "config_overrides": {"swm": SWM_SMALL},
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    app = ServeApp(cache_dir=tmp_path / "cache", cache_backend="sqlite")
+    srv = ReproServer(app).start()
+    yield srv
+    srv.close()
+
+
+def _get_json(url, path):
+    with urllib.request.urlopen(url + path, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(url, path, payload, timeout=300):
+    req = urllib.request.Request(
+        url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _stream(url, path, timeout=300):
+    """Consume a chunked JSONL stream to its end (urllib de-chunks)."""
+    events = []
+    with urllib.request.urlopen(url + path, timeout=timeout) as resp:
+        assert resp.headers.get("Transfer-Encoding") == "chunked"
+        assert "ndjson" in resp.headers.get("Content-Type", "")
+        for line in resp:
+            if line.strip():
+                events.append(json.loads(line))
+    return events
+
+
+def parse_prometheus(text):
+    """A minimal Prometheus text-exposition parser: ``{name: value}``
+    with label sets kept in the name; raises on malformed lines."""
+    metrics = {}
+    types = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            assert parts[0] == "#" and parts[1] == "TYPE", line
+            types[parts[2]] = parts[3]
+            assert parts[3] in ("counter", "gauge", "summary"), line
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name, f"malformed sample line: {line!r}"
+        metrics[name] = float(value)
+    return metrics, types
+
+
+# ---------------------------------------------------------------------------
+# ProgressLog
+# ---------------------------------------------------------------------------
+
+
+class TestProgressLog:
+    def test_replay_and_follow_contract(self):
+        log = ProgressLog("k", "study", total=2)
+        log.append({"event": "job"})
+        events, done = log.snapshot()
+        assert [e["event"] for e in events] == ["start", "job"]
+        assert not done
+        tail, done = log.snapshot(2)
+        assert tail == [] and not done
+        log.finish({"event": "done"})
+        tail, done = log.snapshot(2)
+        assert [e["event"] for e in tail] == ["done"] and done
+
+    def test_append_after_finish_is_dropped(self):
+        log = ProgressLog("k", "study")
+        log.finish({"event": "done"})
+        log.append({"event": "job"})
+        log.finish({"event": "done"})
+        events, _ = log.snapshot()
+        assert [e["event"] for e in events] == ["start", "done"]
+
+
+# ---------------------------------------------------------------------------
+# the streaming routes
+# ---------------------------------------------------------------------------
+
+
+def test_stream_has_one_event_per_job_and_a_terminal_done(server):
+    status, doc = _post(server.url, "/v1/study", STUDY)
+    assert status == 200 and doc["cells"] == 2
+    events = _stream(server.url, f"/v1/progress/{doc['key']}")
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "start" and kinds[-1] == "done"
+    jobs = [e for e in events if e["event"] == "job"]
+    assert len(jobs) == doc["cells"]
+    assert {(e["benchmark"], e["experiment"]) for e in jobs} == {
+        ("swm", "baseline"),
+        ("swm", "cc"),
+    }
+    assert {e["status"] for e in jobs} == {"done"}
+    assert events[0]["cells"] == 2
+    assert events[-1]["executed"] == 2
+
+
+def test_cached_rerun_streams_cached_job_events(server):
+    _post(server.url, "/v1/study", STUDY)
+    status, doc = _post(server.url, "/v1/study", STUDY)
+    assert status == 200 and doc["executed"] == 0
+    events = _stream(server.url, f"/v1/progress/{doc['key']}")
+    jobs = [e for e in events if e["event"] == "job"]
+    assert len(jobs) == 2
+    assert {e["status"] for e in jobs} == {"cached"}
+
+
+def test_mid_run_subscriber_replays_from_the_start(server):
+    """A subscriber connecting after jobs already finished still sees
+    every event — the log replays from the start."""
+    result = {}
+
+    def submit():
+        _, result["doc"] = _post(server.url, "/v1/study", STUDY)
+
+    thread = threading.Thread(target=submit)
+    thread.start()
+    try:
+        # wait until at least half the jobs (1 of 2) have streamed
+        key = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, index = _get_json(server.url, "/v1/progress")
+            live = [s for s in index["studies"] if s["events"] >= 2]
+            if live:
+                key = live[0]["key"]
+                break
+            time.sleep(0.02)
+        assert key is not None, "no study produced job events in time"
+        events = _stream(server.url, f"/v1/progress/{key}")
+    finally:
+        thread.join()
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "start" and kinds[-1] == "done"
+    assert sum(k == "job" for k in kinds) == result["doc"]["cells"]
+
+
+def test_progress_index_and_unknown_key(server):
+    _, doc = _post(server.url, "/v1/study", STUDY)
+    _, index = _get_json(server.url, "/v1/progress")
+    (summary,) = index["studies"]
+    assert summary["key"] == doc["key"]
+    assert summary["kind"] == "study"
+    assert summary["done"] is True
+    assert summary["cells"] == 2
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(server.url + "/v1/progress/nope", timeout=30)
+    assert err.value.code == 404
+
+
+def test_concurrent_runs_do_not_cross_talk(server, tmp_path):
+    """Two different studies running in one serving process keep their
+    job events separated — each stream carries only its own cells."""
+    other = dict(STUDY, keys=["pl"])
+    docs = {}
+
+    def submit(name, payload):
+        _, docs[name] = _post(server.url, "/v1/study", payload)
+
+    threads = [
+        threading.Thread(target=submit, args=("a", STUDY)),
+        threading.Thread(target=submit, args=("b", other)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    events_a = _stream(server.url, f"/v1/progress/{docs['a']['key']}")
+    events_b = _stream(server.url, f"/v1/progress/{docs['b']['key']}")
+    exps_a = {e["experiment"] for e in events_a if e["event"] == "job"}
+    exps_b = {e["experiment"] for e in events_b if e["event"] == "job"}
+    assert exps_a == {"baseline", "cc"}
+    assert exps_b == {"pl"}
+
+
+# ---------------------------------------------------------------------------
+# /metrics
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_endpoint_parses_and_counts_dispatch(server):
+    with recording(MemorySink()):
+        _post(server.url, "/v1/study", STUDY)
+        with urllib.request.urlopen(server.url + "/metrics", timeout=30) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+    metrics, types = parse_prometheus(text)
+    assert metrics["engine_dispatch_jobs_total"] == 2
+    assert types["engine_dispatch_jobs_total"] == "counter"
+    assert metrics["serve_studies_total"] == 1
+    assert metrics["serve_uptime_seconds"] > 0
+    assert types["serve_uptime_seconds"] == "gauge"
+    assert metrics['serve_endpoint_requests_total{endpoint="POST /v1/study"}'] == 1
+
+
+def test_metrics_works_without_a_recorder(server):
+    with urllib.request.urlopen(server.url + "/metrics", timeout=30) as resp:
+        metrics, _ = parse_prometheus(resp.read().decode())
+    assert "serve_uptime_seconds" in metrics
+
+
+# ---------------------------------------------------------------------------
+# /stats extensions
+# ---------------------------------------------------------------------------
+
+
+def test_stats_reports_uptime_endpoints_and_dispatch(server):
+    with recording(MemorySink()):
+        _post(server.url, "/v1/study", STUDY)
+        _get_json(server.url, "/healthz")
+        status, doc = _get_json(server.url, "/stats")
+    assert status == 200
+    assert doc["uptime_s"] > 0
+    assert doc["endpoints"]["POST /v1/study"] == 1
+    assert doc["endpoints"]["GET /healthz"] == 1
+    assert doc["dispatch"]["engine.dispatch.jobs"] == 2
+    assert doc["progress"] == 1
+
+
+def test_stats_normalizes_progress_stream_endpoints(server):
+    _, doc = _post(server.url, "/v1/study", STUDY)
+    _stream(server.url, f"/v1/progress/{doc['key']}")
+    _stream(server.url, f"/v1/progress/{doc['key']}")
+    _, stats = _get_json(server.url, "/stats")
+    assert stats["endpoints"]["GET /v1/progress/*"] == 2

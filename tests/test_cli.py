@@ -450,3 +450,125 @@ def test_cache_prune_rejects_bad_duration(tmp_path):
             "cache", "prune", "--cache-dir", str(tmp_path),
             "--older-than", "fortnight",
         ])
+
+
+# ---------------------------------------------------------------------------
+# distributed tracing and live progress (repro trace / repro top)
+# ---------------------------------------------------------------------------
+
+
+def test_trace_sharded_dispatch_stitches_one_trace(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    assert main([
+        "trace", "swm", "--out", str(trace), "--jsonl", str(jsonl),
+        "--procs", "4", "--ranks", "1",
+        "--config", "n=16", "--config", "nsteps=2",
+        "--dispatch", "sharded", "--shards", "2", "--jobs", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trace id:" in out
+    assert "dispatch:           sharded (2 shards, 6 dispatched jobs)" in out
+
+    records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    spans = [r for r in records if r["type"] == "span"]
+    # one trace id across coordinator and every pool worker
+    assert len({r["trace"] for r in spans}) == 1
+    worker_spans = [r for r in spans if "worker_pid" in r]
+    assert len({r["worker_pid"] for r in worker_spans}) >= 1
+    assert sum(r["name"] == "job" for r in worker_spans) == 6
+    # every span's parent chain reaches the root "trace" span
+    by_id = {r["id"]: r for r in spans}
+    root = next(r for r in spans if r["name"] == "trace")
+    for span in spans:
+        seen = set()
+        while span.get("parent"):
+            assert span["parent"] not in seen
+            seen.add(span["parent"])
+            span = by_id[span["parent"]]
+        assert span["id"] == root["id"]
+
+    # the Perfetto document shows each worker as its own process
+    doc = json.loads(trace.read_text())
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    assert "host" in names
+    assert any(n.startswith("worker ") for n in names)
+
+
+def test_trace_with_http_cache_captures_server_spans(tmp_path, capsys):
+    import json
+
+    from repro.engine import CacheServer, SqliteCache
+
+    server = CacheServer(SqliteCache(tmp_path / "cache")).start()
+    jsonl = tmp_path / "events.jsonl"
+    try:
+        assert main([
+            "trace", "swm", "--out", str(tmp_path / "t.json"),
+            "--jsonl", str(jsonl),
+            "--procs", "4", "--ranks", "1",
+            "--config", "n=16", "--config", "nsteps=2",
+            "--cache-backend", "http", "--cache-url", server.url,
+        ]) == 0
+    finally:
+        server.close()
+    capsys.readouterr()
+    records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    spans = [r for r in records if r["type"] == "span"]
+    names = {r["name"] for r in spans}
+    assert {"cache.http.get", "cache.http.put", "cache.server.get",
+            "cache.server.put"} <= names
+    assert len({r["trace"] for r in spans}) == 1
+
+
+def test_top_streams_a_finished_study(tmp_path, capsys):
+    import json
+    import urllib.request
+
+    from repro.programs import small_config
+    from repro.serve import ReproServer, ServeApp
+
+    app = ServeApp(cache_dir=tmp_path / "cache", cache_backend="sqlite")
+    server = ReproServer(app).start()
+    try:
+        payload = {
+            "benchmarks": ["swm"],
+            "keys": ["baseline", "cc"],
+            "nprocs": 16,
+            "config_overrides": {"swm": small_config("swm")},
+        }
+        req = urllib.request.Request(
+            server.url + "/v1/study",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            doc = json.loads(resp.read())
+
+        # base-URL mode: finds the newest study and replays it
+        assert main(["top", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "watching study" in out
+        assert out.count(" done\n") >= 1 or "baseline" in out
+        assert "done: 2 cells, 2 executed, 0 cache hits" in out
+
+        # direct stream-URL mode
+        assert main(["top", f"{server.url}/v1/progress/{doc['key']}"]) == 0
+        assert "done: 2 cells" in capsys.readouterr().out
+    finally:
+        from repro.obs import core as obs
+
+        server.close()
+        obs.shutdown()
+
+
+def test_top_fails_cleanly_when_unreachable(capsys):
+    assert main(["top", "http://127.0.0.1:9", "--timeout", "1"]) == 1
+    assert "cannot reach" in capsys.readouterr().err
