@@ -97,7 +97,8 @@ from repro.errors import (
     SemanticError,
 )
 from repro import obs
-from repro.sweep import SweepAxis, run_sweep
+from repro.fit import FitResult, FitTarget, fit_machine, load_target, synthesize_target
+from repro.sweep import RefinedSweep, SweepAxis, run_refined_sweep, run_sweep
 from repro.frontend import analyze, parse
 from repro.ir import emit_c, lower
 from repro.machine import Machine, machine_by_name, paragon, t3d
@@ -131,6 +132,8 @@ __all__ = [
     # the experiment engine
     "run_study",
     "run_sweep",
+    "run_refined_sweep",
+    "RefinedSweep",
     "SweepAxis",
     "load_telemetry",
     "ExperimentEngine",
@@ -144,6 +147,12 @@ __all__ = [
     "paragon",
     "t3d",
     "machine_by_name",
+    # calibration
+    "fit_machine",
+    "load_target",
+    "synthesize_target",
+    "FitResult",
+    "FitTarget",
     # execution
     "simulate",
     "simulate_many",

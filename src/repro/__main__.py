@@ -65,6 +65,22 @@ machine-parameter overrides, and ``--no-fast-path``.
     the batched simulator by default (``--batched``/``--no-batched``
     to force either path); see ``docs/SWEEPS.md``.
 
+``frontier``
+    The adaptive frontier engine.  ``--refine PATH=LO:HI --tol T``
+    localizes every crossover of one cost axis by coarse-grid bisection
+    — only intervals still containing a ratio crossing or a winner flip
+    are subdivided, so localization costs a fraction of a dense sweep.
+    Two ``--axis`` flags instead map the crossover contours and winner
+    grid over a 2-D parameter plane.  ``--csv``/``--json`` emit the
+    frontier documents; see ``docs/SWEEPS.md``.
+
+``fit``
+    Calibrate machine cost parameters against measured curves: load a
+    target document (or synthesize one with ``--synthetic PATH=VALUE``
+    ground truth) and fit the ``--fit PATH`` parameters by batched
+    joint-grid refinement, reporting the fitted values, loss, and —
+    for synthetic targets — the recovery error; see ``docs/SWEEPS.md``.
+
 ``cache``
     Inspect and maintain a result-cache backend: ``cache stats`` prints
     the entry/byte totals and per-schema census, ``cache prune`` removes
@@ -524,6 +540,168 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_refine(text: str):
+    """``PATH=LO:HI`` -> (path, lo, hi)."""
+    try:
+        path, _, span = text.partition("=")
+        lo, _, hi = span.partition(":")
+        return path, float(lo), float(hi)
+    except ValueError:
+        raise SystemExit(
+            f"--refine: {text!r} is not PATH=LO:HI (e.g. "
+            "net.latency=1e-6:1e-3)"
+        ) from None
+
+
+def cmd_frontier(args) -> int:
+    from repro.analysis import frontier as fr
+    from repro.sweep import run_refined_sweep
+
+    benches = args.bench or list(BENCHMARKS)
+    keys = tuple(args.keys or EXPERIMENT_KEYS)
+    config = _parse_config(args.config)
+    pinned = _parse_set(args.set)
+    if (args.refine is None) == (not args.axis or len(args.axis) != 2):
+        raise SystemExit(
+            "frontier: pass either --refine PATH=LO:HI --tol T (adaptive "
+            "1-D localization) or exactly two --axis flags (dense 2-D map)"
+        )
+    try:
+        if args.refine is not None:
+            if args.tol is None:
+                raise SystemExit("frontier: --refine requires --tol")
+            path, lo, hi = _parse_refine(args.refine)
+            refined = run_refined_sweep(
+                axis=path,
+                lo=lo,
+                hi=hi,
+                tol=args.tol,
+                coarse=args.coarse,
+                benchmarks=benches,
+                keys=keys,
+                machine=MachineSpec.coerce(args.machine, nprocs=args.nprocs),
+                library=args.library,
+                overrides=pinned or None,
+                config_overrides={b: config for b in benches}
+                if config
+                else None,
+                **_engine_kwargs(args),
+            )
+            print(fr.format_refined_report(refined))
+            if args.csv:
+                print(
+                    "\nscaling CSV written:  "
+                    f"{scaling.write_csv(args.csv, refined.sweep)}"
+                )
+            if args.json:
+                print(
+                    "frontier JSON written: "
+                    f"{fr.write_refined_json(args.json, refined)}"
+                )
+        else:
+            axes = parse_axes(args.axis)
+            x_axis, y_axis = axes[0].name, axes[1].name
+            sweep = run_sweep(
+                axes=axes,
+                benchmarks=benches,
+                keys=keys,
+                machine=MachineSpec.coerce(args.machine, nprocs=args.nprocs),
+                library=args.library,
+                overrides=pinned or None,
+                config_overrides={b: config for b in benches}
+                if config
+                else None,
+                **_engine_kwargs(args),
+            )
+            print(fr.format_frontier_report(sweep, x_axis, y_axis))
+            if args.csv:
+                print(
+                    "\nfrontier CSV written:  "
+                    f"{fr.write_frontier_csv(args.csv, fr.crossover_map(sweep, x_axis, y_axis), x_axis, y_axis)}"
+                )
+            if args.json:
+                print(
+                    "frontier JSON written: "
+                    f"{fr.write_frontier_json(args.json, sweep, x_axis, y_axis)}"
+                )
+    except (MachineError, ExperimentError) as exc:
+        raise SystemExit(f"frontier: {exc}") from None
+    return 0
+
+
+def cmd_fit(args) -> int:
+    from repro import fit as fitmod
+
+    if (args.target is None) == (not args.synthetic):
+        raise SystemExit(
+            "fit: pass either TARGET.json (measured curves) or --synthetic "
+            "PATH=VALUE ground truth to generate one"
+        )
+    config = _parse_config(args.config)
+    try:
+        if args.synthetic:
+            truth = _parse_set(args.synthetic)
+            benches = args.bench or ["simple"]
+            keys = tuple(args.keys or ("baseline", "cc"))
+            target = fitmod.synthesize_target(
+                machine=args.machine,
+                nprocs=args.nprocs or 16,
+                truth=truth,
+                benchmarks=benches,
+                keys=keys,
+                library=args.library,
+                overrides=_parse_set(args.set) or None,
+                config={b: config for b in benches} if config else None,
+            )
+        else:
+            target = fitmod.load_target(args.target)
+            truth = None
+        bounds = {}
+        for spec in args.bound or []:
+            path, lo, hi = _parse_refine(spec)
+            bounds[path] = (lo, hi)
+        paths = args.fit or (sorted(truth) if truth else None)
+        if not paths:
+            raise SystemExit("fit: pass --fit PATH for each free parameter")
+        result = fitmod.fit_machine(
+            target,
+            paths,
+            bounds=bounds or None,
+            rounds=args.rounds,
+            samples=args.samples,
+        )
+    except (MachineError, ExperimentError) as exc:
+        raise SystemExit(f"fit: {exc}") from None
+    print(result.describe())
+    if truth:
+        rows = [
+            [
+                p,
+                truth[p],
+                result.fitted[p],
+                abs(result.fitted[p] - truth[p]) / abs(truth[p])
+                if truth[p]
+                else float("nan"),
+            ]
+            for p in paths
+            if p in truth
+        ]
+        print()
+        print(
+            format_table(
+                ["path", "truth", "fitted", "rel_error"],
+                rows,
+                float_fmt=".6g",
+                title="Recovery vs synthetic ground truth",
+            )
+        )
+    if args.write_target:
+        print(f"\ntarget JSON written: {target.write_json(args.write_target)}")
+    if args.json:
+        print(f"fit JSON written: {result.write_json(args.json)}")
+    return 0
+
+
 _DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
 
 
@@ -829,6 +1007,73 @@ def main(argv=None) -> int:
                    help="write the full scaling document (axes, rows, "
                    "crossovers) as JSON")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "frontier",
+        help="adaptively localize crossovers or map them over two axes",
+        parents=[_sim_parent(None), _engine_parent()],
+    )
+    p.add_argument("--refine", default=None, metavar="PATH=LO:HI",
+                   help="adaptive mode: bisect this cost axis toward its "
+                   "crossovers (e.g. prim.*.per_byte_beyond=0:1e-6)")
+    p.add_argument("--tol", type=float, default=None, metavar="T",
+                   help="crossover localization tolerance for --refine "
+                   "(axis units)")
+    p.add_argument("--coarse", type=_positive_int, default=9, metavar="N",
+                   help="initial grid size for --refine (default 9)")
+    p.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                   help="dense mode: exactly two cost axes — the first is "
+                   "scanned for crossings at each value of the second")
+    p.add_argument("--bench", action="append", choices=BENCHMARKS)
+    p.add_argument("--keys", nargs="+", choices=EXPERIMENT_KEYS, default=None)
+    p.add_argument("--machine", default="t3d",
+                   help="base machine the variants derive from (t3d/paragon)")
+    p.add_argument("--library", default=None)
+    p.add_argument("--config", action="append", metavar="NAME=VALUE",
+                   help="program config override applied to every benchmark")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="write the contour table (dense mode) or per-cell "
+                   "scaling table (refine mode) as CSV")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full frontier document as JSON")
+    p.set_defaults(func=cmd_frontier)
+
+    p = sub.add_parser(
+        "fit",
+        help="fit machine cost parameters to measured curves",
+        parents=[_sim_parent(None)],
+    )
+    p.add_argument("target", nargs="?", default=None, metavar="TARGET.json",
+                   help="measured fit target (see docs/SWEEPS.md for the "
+                   "schema); omit with --synthetic")
+    p.add_argument("--fit", action="append", metavar="PATH",
+                   help="free parameter to fit (repeatable; with "
+                   "--synthetic, defaults to the truth paths)")
+    p.add_argument("--synthetic", action="append", metavar="PATH=VALUE",
+                   help="generate a synthetic target by simulating with "
+                   "these ground-truth overrides (repeatable)")
+    p.add_argument("--bound", action="append", metavar="PATH=LO:HI",
+                   help="search bracket for one path (default: around the "
+                   "base machine's value)")
+    p.add_argument("--rounds", type=_positive_int, default=16,
+                   help="grid-refinement rounds (default 16)")
+    p.add_argument("--samples", type=_positive_int, default=9,
+                   help="samples per path per round; the full cartesian "
+                   "product is evaluated per round (default 9)")
+    p.add_argument("--bench", action="append", choices=BENCHMARKS,
+                   help="benchmarks for --synthetic cells (default simple)")
+    p.add_argument("--keys", nargs="+", choices=EXPERIMENT_KEYS, default=None,
+                   help="experiment keys for --synthetic cells "
+                   "(default baseline cc)")
+    p.add_argument("--library", default=None)
+    p.add_argument("--machine", default="t3d")
+    p.add_argument("--config", action="append", metavar="NAME=VALUE",
+                   help="program config override for the fit cells")
+    p.add_argument("--write-target", default=None, metavar="PATH",
+                   help="also write the (synthetic) target document")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the fit result document as JSON")
+    p.set_defaults(func=cmd_fit)
 
     p = sub.add_parser(
         "cache", help="inspect and maintain a result-cache backend"

@@ -25,6 +25,14 @@ from repro.analysis.experiments import (
     run_experiment,
     run_benchmark_suite,
 )
+from repro.analysis.frontier import (
+    ContourPoint,
+    ParetoPoint,
+    crossover_map,
+    pareto_front,
+    pareto_surface,
+    winner_map,
+)
 from repro.analysis.report import format_table
 from repro.analysis.scaling import (
     Crossover,
@@ -36,7 +44,13 @@ from repro.analysis.scaling import (
 
 __all__ = [
     "EXPERIMENT_KEYS",
+    "ContourPoint",
     "Crossover",
+    "ParetoPoint",
+    "crossover_map",
+    "pareto_front",
+    "pareto_surface",
+    "winner_map",
     "ExperimentResult",
     "ExperimentSpec",
     "detect_crossovers",

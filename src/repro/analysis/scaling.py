@@ -175,21 +175,41 @@ def speedup_curve(
 def find_crossings(
     points: Sequence[Tuple[AxisValue, float]], threshold: float = 1.0
 ) -> List[Tuple[AxisValue, AxisValue, float, float, float]]:
-    """Sign changes of ``ratio - threshold`` between consecutive points.
+    """Sign changes of ``ratio - threshold`` along an ordered curve.
 
     Pure helper over an ordered ``[(x, ratio), ...]`` curve; returns
-    ``(x_low, x_high, x_estimate, ratio_low, ratio_high)`` per crossing,
-    with ``x_estimate`` linearly interpolated.  Points sitting exactly
-    on the threshold delimit a crossing only if the neighbours straddle
-    it.
+    ``(x_low, x_high, x_estimate, ratio_low, ratio_high)`` per crossing.
+    Between adjacent straddling points ``x_estimate`` linearly
+    interpolates, matching the historical formula bit-for-bit.
+
+    Grid points sitting *exactly* on the threshold never terminate the
+    scan: a run of ties flanked by opposite signs is one crossing whose
+    bracket is the nearest off-threshold neighbours and whose
+    ``x_estimate`` is the tie run's midpoint (a single tie estimates
+    exactly that grid value).  Ties flanked by the same sign — the curve
+    touching the threshold without passing through — report nothing, as
+    do ties at either end of the curve.  Non-monotone curves simply
+    yield one entry per sign change, in axis order.
     """
     out = []
-    for (x0, r0), (x1, r1) in zip(points, points[1:]):
-        d0, d1 = r0 - threshold, r1 - threshold
-        if d0 == 0 or d1 == 0 or (d0 < 0) == (d1 < 0):
+    prev: Optional[Tuple[AxisValue, float, float]] = None
+    ties: List[AxisValue] = []  # threshold-exact x's since ``prev``
+    for x, r in points:
+        d = r - threshold
+        if d == 0:
+            if prev is not None:
+                ties.append(x)
             continue
-        frac = d0 / (d0 - d1)
-        out.append((x0, x1, float(x0) + frac * (float(x1) - float(x0)), r0, r1))
+        if prev is not None and (d < 0) != (prev[2] < 0):
+            x0, r0, d0 = prev
+            if ties:
+                est = (float(ties[0]) + float(ties[-1])) / 2.0
+            else:
+                frac = d0 / (d0 - d)
+                est = float(x0) + frac * (float(x) - float(x0))
+            out.append((x0, x, est, r0, r))
+        prev = (x, r, d)
+        ties = []
     return out
 
 

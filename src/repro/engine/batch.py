@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.experiments_registry import experiment_spec
+from repro.machine import pack_variant_specs
 from repro.obs import core as obs
 from repro.runtime import ExecutionMode, SimOptions, simulate_many
 
@@ -110,7 +111,20 @@ def _execute_cell(cell_jobs: Sequence[Job]) -> List[dict]:
         variants=len(cell_jobs),
     ):
         spec = experiment_spec(job0.experiment)
-        machines = [job.machine.build(spec.library) for job in cell_jobs]
+        libraries = {job.effective_library() for job in cell_jobs}
+        if len(libraries) != 1:
+            raise ExperimentError(
+                f"batched cell mixes libraries {sorted(libraries)}"
+            )
+        # content-keyed packing memo: every cell of a sweep shares the
+        # same variant list, so the (V,)-stacked cost tensors are built
+        # once per sweep instead of once per cell
+        matrix = pack_variant_specs(
+            job0.machine.name,
+            job0.machine.nprocs,
+            job0.effective_library(),
+            [job.machine.overrides for job in cell_jobs],
+        )
 
         merged = job0.merged_config()
         config_items = tuple(sorted(merged.items()))
@@ -121,7 +135,7 @@ def _execute_cell(cell_jobs: Sequence[Job]) -> List[dict]:
         t0 = time.perf_counter()
         batch = simulate_many(
             program,
-            machines,
+            matrix,
             options=SimOptions(
                 mode=ExecutionMode(job0.mode), fast=job0.fast
             ),
@@ -146,7 +160,7 @@ def _execute_cell(cell_jobs: Sequence[Job]) -> List[dict]:
                 "nprocs": job.machine.nprocs,
                 "machine_variant": job.machine.variant,
                 "machine_overrides": {k: val for k, val in job.machine.overrides},
-                "library": machines[v].library,
+                "library": matrix.base.library,
                 "mode": job.mode,
                 "config": {str(k): val for k, val in merged.items()},
                 "result": {

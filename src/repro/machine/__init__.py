@@ -33,8 +33,13 @@ from repro.machine.variants import (
     PrimColumns,
     VariantMatrix,
     apply_overrides,
+    clear_pack_cache,
+    default_bounds,
     describe_overrides,
     normalize_overrides,
+    override_value,
+    pack_cache_info,
+    pack_variant_specs,
     pack_variants,
     validate_override_path,
     variant_id,
@@ -51,9 +56,14 @@ __all__ = [
     "machine_by_name",
     "square_ish_grid",
     "apply_overrides",
+    "clear_pack_cache",
+    "default_bounds",
     "describe_overrides",
     "normalize_overrides",
+    "override_value",
+    "pack_cache_info",
     "pack_variants",
+    "pack_variant_specs",
     "PrimColumns",
     "VariantMatrix",
     "validate_override_path",

@@ -39,7 +39,8 @@ import dataclasses
 import hashlib
 import json
 import math
-from typing import Dict, Iterable, Mapping, Tuple, Union
+from functools import lru_cache
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,8 +54,13 @@ __all__ = [
     "PrimColumns",
     "VariantMatrix",
     "apply_overrides",
+    "clear_pack_cache",
+    "default_bounds",
     "describe_overrides",
     "normalize_overrides",
+    "override_value",
+    "pack_cache_info",
+    "pack_variant_specs",
     "pack_variants",
     "validate_override_path",
     "variant_id",
@@ -361,3 +367,131 @@ def pack_variants(machines: Iterable[Machine]) -> VariantMatrix:
         ),
         prims=prims,
     )
+
+
+#: sized above any realistic sweep's distinct (library x variant-list)
+#: combinations, mirroring the TransferPlan LRU from the fast path
+_PACK_CACHE_SIZE = 64
+
+OverrideItems = Tuple[Tuple[str, OverrideValue], ...]
+
+
+@lru_cache(maxsize=_PACK_CACHE_SIZE)
+def _pack_specs_cached(
+    name: str,
+    nprocs: int,
+    library: Optional[str],
+    overrides_list: Tuple[OverrideItems, ...],
+) -> VariantMatrix:
+    from repro.machine.factories import machine_by_name
+
+    base = machine_by_name(name, nprocs, library)
+    machines = [apply_overrides(base, dict(items)) for items in overrides_list]
+    return pack_variants(machines)
+
+
+def pack_variant_specs(
+    name: str,
+    nprocs: int,
+    library: Optional[str],
+    overrides_list: Sequence[Mapping[str, OverrideValue]],
+) -> VariantMatrix:
+    """A :class:`VariantMatrix` for a list of override sets of one named
+    machine, memoized by content.
+
+    A sweep's ``benchmark x experiment`` cells all share one variant
+    list, so the cost-tensor packing (building every derived machine and
+    stacking its parameter columns) is paid once per
+    ``(machine, nprocs, library, variant-list)`` — not once per cell —
+    through a process-wide LRU keyed by the canonical override tuples.
+    """
+    key = tuple(
+        items
+        if isinstance(items, tuple)
+        else normalize_overrides(dict(items))
+        for items in overrides_list
+    )
+    return _pack_specs_cached(name, nprocs, library, key)
+
+
+def pack_cache_info():
+    """The packing LRU's ``functools`` cache statistics."""
+    return _pack_specs_cached.cache_info()
+
+
+def clear_pack_cache() -> None:
+    """Drop every memoized :func:`pack_variant_specs` matrix."""
+    _pack_specs_cached.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# calibration targets: reading parameters back out, and default bounds
+# ---------------------------------------------------------------------------
+
+
+def override_value(machine: Machine, path: str) -> OverrideValue:
+    """The current value of an override path on a concrete machine.
+
+    ``prim.*.<field>`` reads the *largest* value across the machine's
+    primitives (the conservative anchor for a bound that must contain
+    every primitive's current value).
+    """
+    validate_override_path(path)
+    if path in SCALAR_PATHS:
+        section, field = SCALAR_PATHS[path]
+        value = getattr(getattr(machine, section), field)
+        if value is None:  # net.raw_latency unset falls back to latency
+            value = machine.network.latency
+        return value
+    _, prim_name, field = path.split(".")
+    if prim_name == "*":
+        values = [getattr(p, field) for p in machine.primitives.values()]
+        if not values:
+            raise MachineError(f"machine {machine.name!r} has no primitives")
+        return max(values)
+    prim = machine.primitive(prim_name)
+    return getattr(prim, field)
+
+
+#: Per-field fallback upper bounds for parameters whose calibrated value
+#: is zero (a zero base gives a degenerate multiplicative bracket).
+_FALLBACK_HI: Dict[str, float] = {
+    "fixed": 1e-3,
+    "per_byte": 1e-7,
+    "knee_bytes": 65536,
+    "per_byte_beyond": 1e-6,
+    "spread_penalty": 4.0,
+    "spread_cap": 1e-3,
+    "latency": 1e-3,
+    "raw_latency": 1e-4,
+    "bandwidth": 1e9,
+    "flop_time": 1e-6,
+    "loop_overhead": 1e-4,
+    "stage_cost": 1e-3,
+}
+
+
+def default_bounds(
+    machine: Machine, path: str, span: float = 16.0
+) -> Tuple[float, float]:
+    """A calibration search bracket for one override path.
+
+    Centered multiplicatively on the machine's current value —
+    ``(value / span, value * span)`` — so a fit started from a
+    calibrated machine brackets plausible re-measurements.  Zero-valued
+    parameters get ``(0, fallback)`` from a per-field table; bandwidth
+    stays strictly positive.
+    """
+    if span <= 1.0:
+        raise MachineError(f"bounds span must exceed 1, got {span!r}")
+    field = path.rsplit(".", 1)[1]
+    base = float(override_value(machine, path))
+    if base > 0.0:
+        lo, hi = base / span, base * span
+    else:
+        lo, hi = 0.0, _FALLBACK_HI[field]
+    if field in _STRICTLY_POSITIVE and lo == 0.0:
+        lo = hi / span**2
+    if field in _INTEGRAL:
+        lo, hi = float(int(lo)), float(max(int(math.ceil(hi)), int(lo) + 1))
+    return lo, hi

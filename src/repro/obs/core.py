@@ -37,6 +37,7 @@ to the right run.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 import uuid
@@ -254,6 +255,11 @@ class Recorder:
         self._epoch = time.perf_counter()
         self.wall_epoch = time.time()
         self._closed = False
+        # Sinks are not thread-safe (a TextIOWrapper written from two
+        # threads can scramble its buffer); background emitters — the
+        # HTTP cache server, progress streams — share this recorder
+        # with the host thread, so fan-out and close serialize here.
+        self._emit_lock = threading.Lock()
 
     # -- time ----------------------------------------------------------
     def now(self) -> float:
@@ -283,8 +289,9 @@ class Recorder:
         if "trace" not in record:
             bound = _RUN_TRACE.get()
             record["trace"] = bound[0] if bound is not None else self.trace_id
-        for sink in self.sinks:
-            sink.emit(record)
+        with self._emit_lock:
+            for sink in self.sinks:
+                sink.emit(record)
 
     def span(self, name: str, _parent: Optional[str] = None, **attrs: Any) -> Span:
         return Span(self, name, attrs, parent=_parent)
@@ -375,9 +382,18 @@ class Recorder:
         if not self._closed:
             self._closed = True
             self.emit({"type": "metrics", "ts": self.now(), "metrics": snap})
-            for sink in self.sinks:
-                sink.close()
+            with self._emit_lock:
+                for sink in self.sinks:
+                    sink.close()
         return snap
+
+    def flush(self) -> None:
+        """Drain every sink's buffer to its backing store."""
+        with self._emit_lock:
+            for sink in self.sinks:
+                flush = getattr(sink, "flush", None)
+                if flush is not None:
+                    flush()
 
 
 # ---------------------------------------------------------------------------
@@ -433,6 +449,22 @@ def discard() -> None:
     abandoned."""
     global _ACTIVE
     _ACTIVE = None
+
+
+def _flush_before_fork() -> None:
+    """Forked children inherit the sinks' file objects *including their
+    userspace buffers*; interpreter shutdown in the child flushes those
+    inherited bytes a second time at the shared file offset, splicing
+    duplicates into the log.  Draining the buffers in the parent
+    immediately before every fork leaves the child nothing to
+    re-flush."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.flush()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows
+    os.register_at_fork(before=_flush_before_fork)
 
 
 @contextmanager

@@ -44,10 +44,14 @@ __all__ = ["ChromeTraceSink", "JsonlSink", "MemorySink", "QueueSink", "Sink"]
 
 
 class Sink:
-    """Interface: override :meth:`emit`; :meth:`close` is optional."""
+    """Interface: override :meth:`emit`; :meth:`close` and
+    :meth:`flush` are optional."""
 
     def emit(self, record: dict) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
 
     def close(self) -> None:
         pass
@@ -111,13 +115,20 @@ class JsonlSink(Sink):
         self._fh = self.path.open("w", encoding="utf-8")
 
     def emit(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True, default=str))
-        self._fh.write("\n")
+        if self._fh.closed:  # a late emit from another thread: drop it
+            return
+        self._fh.write(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+        )
         if self.flush_every is not None:
             self._since_flush += 1
             if self._since_flush >= self.flush_every:
                 self._fh.flush()
                 self._since_flush = 0
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
 
     def close(self) -> None:
         if not self._fh.closed:

@@ -21,7 +21,14 @@ simulated :class:`~repro.machine.Machine`:
 Entry point: :func:`repro.runtime.executor.simulate`.
 """
 
-from repro.runtime.batch import BatchResult, BatchRun, simulate_many
+from repro.runtime.batch import (
+    BatchEvaluator,
+    BatchResult,
+    BatchRun,
+    batch_evaluator,
+    clear_batch_evaluators,
+    simulate_many,
+)
 from repro.runtime.executor import ExecutionMode, RunResult, simulate
 from repro.runtime.options import SimOptions
 from repro.runtime.reference import reference_run
@@ -30,8 +37,11 @@ __all__ = [
     "simulate",
     "simulate_many",
     "RunResult",
+    "BatchEvaluator",
     "BatchResult",
     "BatchRun",
+    "batch_evaluator",
+    "clear_batch_evaluators",
     "SimOptions",
     "ExecutionMode",
     "reference_run",

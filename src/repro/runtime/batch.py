@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import csv
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -73,7 +74,14 @@ from repro.runtime.schedule import (
 )
 from repro.runtime.transfers import PlanCache, TransferPlan
 
-__all__ = ["BatchResult", "BatchRun", "simulate_many"]
+__all__ = [
+    "BatchEvaluator",
+    "BatchResult",
+    "BatchRun",
+    "batch_evaluator",
+    "clear_batch_evaluators",
+    "simulate_many",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -464,28 +472,44 @@ class _BatchLowerer(_Lowerer):
 
 class _BatchSimulation:
     """TIMING-only batched mirror of ``executor._Simulation`` (duck-typed
-    for :class:`_Lowerer`)."""
+    for :class:`_Lowerer`).
+
+    When a :class:`BatchEvaluator` is passed as ``shared``, the
+    variant-independent state — processor grid, problem layout, plan
+    cache, and per-region element vectors — is borrowed from it instead
+    of rebuilt; all of it is pure geometry, so sharing cannot change a
+    single float of the result.
+    """
 
     def __init__(
         self,
         program: ir.IRProgram,
         matrix: VariantMatrix,
         repeat_cap: Optional[int],
+        shared: Optional["BatchEvaluator"] = None,
     ) -> None:
         self.program = program
         self.matrix = matrix
         self.machine = matrix.base
         self.repeat_cap = repeat_cap
-        rows, cols = self.machine.grid_shape
-        self.grid = ProcessorGrid(rows, cols)
-        domains = {name: dom for name, (dom, _) in program.arrays.items()}
-        self.layout = ProblemLayout(self.grid, domains)
-        fluff = {name: f for name, (_, f) in program.arrays.items()}
-        self.layout.check_fluff_feasible(fluff)
+        if shared is not None:
+            self.grid = shared.grid
+            self.layout = shared.layout
+            self.plans = shared.plans
+            self._elems_cache = shared._elems_cache
+            self._static_count = shared.static_count
+        else:
+            rows, cols = self.machine.grid_shape
+            self.grid = ProcessorGrid(rows, cols)
+            domains = {name: dom for name, (dom, _) in program.arrays.items()}
+            self.layout = ProblemLayout(self.grid, domains)
+            fluff = {name: f for name, (_, f) in program.arrays.items()}
+            self.layout.check_fluff_feasible(fluff)
+            self.plans = PlanCache(self.layout, self.machine.nprocs)
+            self._elems_cache: Dict[Tuple, np.ndarray] = {}
+            self._static_count = static_comm_count(program)
         self.instrument = Instrumentation(self.machine.nprocs)
         self.timing = BatchTimingEngine(matrix, self.instrument)
-        self.plans = PlanCache(self.layout, self.machine.nprocs)
-        self._elems_cache: Dict[Tuple, np.ndarray] = {}
         self.scalars: Dict[str, Union[int, float, bool]] = dict(
             program.config_values
         )
@@ -531,12 +555,123 @@ class _BatchSimulation:
             program_name=self.program.name,
             times=self.timing.elapsed(),
             clocks=self.timing.absolute_clocks(),
-            static_comm_count=static_comm_count(self.program),
+            static_comm_count=self._static_count,
             dynamic_comm_count=self.instrument.dynamic_comm_count,
             instrument=self.instrument,
             scalars=scalars_out,
             fastpath=stats,
         )
+
+
+# ---------------------------------------------------------------------------
+# incremental-append evaluation
+# ---------------------------------------------------------------------------
+
+
+class BatchEvaluator:
+    """Incremental-append front-end over the batched TIMING simulator.
+
+    Builds the variant-independent state of one ``(program, base
+    machine)`` pair once — processor grid, problem layout (with fluff
+    feasibility checked), plan cache, per-region element vectors, static
+    comm count — then evaluates any number of variant batches against
+    it.  Refinement drivers and calibration loops call
+    :meth:`evaluate` once per round; only the per-variant cost matrices
+    and the timing engine are rebuilt, so appending a handful of new
+    variants costs a fraction of a cold :func:`simulate_many` call
+    while every returned row stays bit-identical to one.
+    """
+
+    def __init__(
+        self,
+        program: ir.IRProgram,
+        base: Machine,
+        *,
+        repeat_cap: Optional[int] = None,
+    ) -> None:
+        self.program = program
+        self.base = base
+        self.repeat_cap = repeat_cap
+        rows, cols = base.grid_shape
+        self.grid = ProcessorGrid(rows, cols)
+        domains = {name: dom for name, (dom, _) in program.arrays.items()}
+        self.layout = ProblemLayout(self.grid, domains)
+        fluff = {name: f for name, (_, f) in program.arrays.items()}
+        self.layout.check_fluff_feasible(fluff)
+        self.plans = PlanCache(self.layout, base.nprocs)
+        self._elems_cache: Dict[Tuple, np.ndarray] = {}
+        self.static_count = static_comm_count(program)
+        self.calls = 0
+        self.variants_evaluated = 0
+
+    def _check_base(self, other: Machine) -> None:
+        base = self.base
+        for attr in ("name", "nprocs", "grid_shape", "library"):
+            mine, theirs = getattr(base, attr), getattr(other, attr)
+            if mine != theirs:
+                raise RuntimeFault(
+                    f"variant batch targets {attr}={theirs!r} but this "
+                    f"evaluator was built for {attr}={mine!r}"
+                )
+
+    def evaluate(
+        self, variants: Union[VariantMatrix, Iterable[Machine]]
+    ) -> BatchRun:
+        """Run one batch of cost-only variants; returns the program's
+        :class:`BatchRun` (``(V,)`` times in batch order)."""
+        matrix = (
+            variants
+            if isinstance(variants, VariantMatrix)
+            else pack_variants(variants)
+        )
+        self._check_base(matrix.base)
+        run = _BatchSimulation(
+            self.program, matrix, self.repeat_cap, shared=self
+        ).run()
+        self.calls += 1
+        self.variants_evaluated += matrix.nvariants
+        return run
+
+
+# bounded identity-checked memo: refinement rounds and fit iterations
+# re-enter simulate_many with the same program object many times in a
+# row; keying on id() alone would go stale if the id were recycled, so
+# each entry pins the program strongly and is verified by identity.
+_EVALUATOR_CACHE_MAX = 32
+_evaluators: "OrderedDict[Tuple, BatchEvaluator]" = OrderedDict()
+
+
+def batch_evaluator(
+    program: ir.IRProgram, base: Machine, *, repeat_cap: Optional[int] = None
+) -> BatchEvaluator:
+    """The process-wide :class:`BatchEvaluator` for ``(program, base,
+    repeat_cap)``, building (and LRU-caching) it on first use."""
+    key = (
+        id(program),
+        base.name,
+        base.nprocs,
+        base.grid_shape,
+        base.library,
+        repeat_cap,
+    )
+    ev = _evaluators.get(key)
+    if ev is not None and ev.program is program:
+        _evaluators.move_to_end(key)
+        if obs.enabled():
+            obs.add("sim.batch.evaluator_hits", 1)
+        return ev
+    ev = BatchEvaluator(program, base, repeat_cap=repeat_cap)
+    _evaluators[key] = ev
+    if len(_evaluators) > _EVALUATOR_CACHE_MAX:
+        _evaluators.popitem(last=False)
+    if obs.enabled():
+        obs.add("sim.batch.evaluator_builds", 1)
+    return ev
+
+
+def clear_batch_evaluators() -> None:
+    """Drop all cached :class:`BatchEvaluator` instances (tests)."""
+    _evaluators.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -652,7 +787,7 @@ class BatchResult:
 
 def simulate_many(
     programs: Union[ir.IRProgram, Iterable[ir.IRProgram]],
-    variants: Iterable[Machine],
+    variants: Union[VariantMatrix, Iterable[Machine]],
     *,
     options: Optional[SimOptions] = None,
     variant_ids: Optional[Sequence[str]] = None,
@@ -668,7 +803,10 @@ def simulate_many(
         The machine variants — cost-only siblings of one base machine
         (same name, nprocs, grid, library, binding, primitive
         structure); typically built with
-        :func:`repro.machine.apply_overrides`.
+        :func:`repro.machine.apply_overrides`.  A prebuilt
+        :class:`~repro.machine.variants.VariantMatrix` (e.g. from the
+        memoized :func:`repro.machine.pack_variant_specs`) is accepted
+        as-is, skipping the packing pass.
     options:
         A :class:`~repro.runtime.options.SimOptions` (the *only* options
         spelling here — no bare keywords).  Must be TIMING mode without
@@ -707,7 +845,11 @@ def simulate_many(
     if len(set(names)) != len(names):
         raise RuntimeFault(f"duplicate program names in batch: {names}")
 
-    matrix = pack_variants(variants)
+    matrix = (
+        variants
+        if isinstance(variants, VariantMatrix)
+        else pack_variants(variants)
+    )
     if variant_ids is None:
         ids = tuple(f"v{i}" for i in range(matrix.nvariants))
     else:
@@ -729,7 +871,9 @@ def simulate_many(
         programs=len(programs),
     ):
         for b, program in enumerate(programs):
-            run = _BatchSimulation(program, matrix, opts.repeat_cap).run()
+            run = batch_evaluator(
+                program, base, repeat_cap=opts.repeat_cap
+            ).evaluate(matrix)
             runs[program.name] = run
             times[b] = run.times
     if obs.enabled():

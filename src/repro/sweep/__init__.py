@@ -21,13 +21,17 @@ crossover detection, CSV/JSON emission) lives in
 
 from repro.sweep.axes import NPROCS_AXIS, SweepAxis, parse_axis
 from repro.sweep.core import SweepPoint, SweepResult, expand_axes, run_sweep
+from repro.sweep.refine import RefinedSweep, WinnerFlip, run_refined_sweep
 
 __all__ = [
     "NPROCS_AXIS",
+    "RefinedSweep",
     "SweepAxis",
     "SweepPoint",
     "SweepResult",
+    "WinnerFlip",
     "expand_axes",
     "parse_axis",
+    "run_refined_sweep",
     "run_sweep",
 ]

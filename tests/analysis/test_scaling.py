@@ -42,7 +42,34 @@ class TestFindCrossings:
         assert find_crossings([(0, 0.5), (1, 0.9), (2, 0.99)]) == []
 
     def test_touching_threshold_is_not_a_crossing(self):
-        assert find_crossings([(0, 0.5), (1, 1.0), (2, 1.5)]) == []
+        # dips to exactly 1.0 and retreats: never passes through
+        assert find_crossings([(0, 0.5), (1, 1.0), (2, 0.5)]) == []
+        assert find_crossings([(0, 1.5), (1, 1.0), (2, 1.5)]) == []
+
+    def test_exact_grid_point_crossing(self):
+        # passes *through* the threshold at a grid point: one crossing
+        # estimated exactly there, bracketed by the off-threshold
+        # neighbours
+        ((x0, x1, est, r0, r1),) = find_crossings(
+            [(0, 0.5), (1, 1.0), (2, 1.5)]
+        )
+        assert (x0, x1) == (0, 2)
+        assert est == 1.0
+        assert (r0, r1) == (0.5, 1.5)
+
+    def test_tie_run_midpoint(self):
+        # a plateau exactly on the threshold between opposite signs is
+        # one crossing at the plateau's midpoint
+        ((x0, x1, est, _, _),) = find_crossings(
+            [(0, 1.2), (1, 1.0), (2, 1.0), (3, 1.0), (4, 0.8)]
+        )
+        assert (x0, x1) == (0, 4)
+        assert est == 2.0
+
+    def test_leading_and_trailing_ties_are_not_crossings(self):
+        assert find_crossings([(0, 1.0), (1, 1.5)]) == []
+        assert find_crossings([(0, 0.5), (1, 1.0)]) == []
+        assert find_crossings([(0, 1.0), (1, 1.0)]) == []
 
     def test_multiple_crossings(self):
         pts = [(0, 0.5), (1, 1.5), (2, 0.5)]
@@ -50,8 +77,22 @@ class TestFindCrossings:
         assert len(crossings) == 2
         assert crossings[0][2] < crossings[1][2]
 
+    def test_non_monotone_with_exact_ties(self):
+        # up through a tie, back down through a straddle: two crossings
+        pts = [(0, 0.5), (1, 1.0), (2, 1.5), (3, 0.5)]
+        crossings = find_crossings(pts)
+        assert len(crossings) == 2
+        assert crossings[0][2] == 1.0
+        assert 2.0 < crossings[1][2] < 3.0
+
     def test_custom_threshold(self):
         assert find_crossings([(0, 1.0), (1, 3.0)], threshold=2.0)
+
+    def test_custom_threshold_tie(self):
+        ((_, _, est, _, _),) = find_crossings(
+            [(0, 1.0), (1, 2.0), (2, 3.0)], threshold=2.0
+        )
+        assert est == 1.0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,1 @@
+"""Tests for machine-parameter calibration (`repro.fit`)."""

@@ -1,0 +1,194 @@
+"""Tests for machine-parameter calibration (`repro.fit`)."""
+
+import json
+
+import pytest
+
+from repro import MachineError
+from repro.fit import (
+    FIT_SCHEMA,
+    FitObservation,
+    FitTarget,
+    fit_machine,
+    load_target,
+    synthesize_target,
+)
+
+SIMPLE_N24 = {"n": 24, "niters": 2, "ncond": 2}
+TRUTH = {"net.latency": 3.2e-5, "prim.*.per_byte": 2.4e-8}
+
+
+def _target(**kwargs):
+    kwargs.setdefault("machine", "t3d")
+    kwargs.setdefault("nprocs", 16)
+    kwargs.setdefault(
+        "observations",
+        (FitObservation("simple", "baseline", 1.0),),
+    )
+    return FitTarget(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    """Ground-truth observations simulated with TRUTH applied."""
+    return synthesize_target(
+        machine="t3d",
+        nprocs=16,
+        truth=TRUTH,
+        benchmarks="simple",
+        keys=("baseline", "cc"),
+        config={"simple": SIMPLE_N24},
+    )
+
+
+# ---------------------------------------------------------------------------
+# targets: validation and round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestFitTarget:
+    def test_no_observations_rejected(self):
+        with pytest.raises(MachineError, match="no observations"):
+            _target(observations=())
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(MachineError, match="duplicate"):
+            _target(
+                observations=(
+                    FitObservation("simple", "baseline", 1.0),
+                    FitObservation("simple", "baseline", 2.0),
+                )
+            )
+
+    def test_non_positive_time_rejected(self):
+        with pytest.raises(MachineError, match="non-positive"):
+            _target(observations=(FitObservation("simple", "cc", 0.0),))
+
+    def test_json_round_trip(self, tmp_path):
+        target = _target(
+            overrides={"prim.*.knee_bytes": 32},
+            config={"simple": SIMPLE_N24},
+        )
+        path = target.write_json(tmp_path / "target.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == FIT_SCHEMA
+        loaded = load_target(path)
+        assert loaded == target
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "observations": []}))
+        with pytest.raises(MachineError, match="schema"):
+            load_target(path)
+
+
+class TestSynthesize:
+    def test_observations_are_simulated_times(self, synthetic):
+        assert len(synthetic.observations) == 2
+        assert {ob.experiment for ob in synthetic.observations} == {
+            "baseline",
+            "cc",
+        }
+        assert all(ob.time > 0 for ob in synthetic.observations)
+
+    def test_truth_moves_the_times(self):
+        base = synthesize_target(
+            machine="t3d",
+            nprocs=16,
+            truth={},
+            benchmarks="simple",
+            keys=("baseline",),
+            config={"simple": SIMPLE_N24},
+        )
+        slow = synthesize_target(
+            machine="t3d",
+            nprocs=16,
+            truth={"net.latency": 1e-3},
+            benchmarks="simple",
+            keys=("baseline",),
+            config={"simple": SIMPLE_N24},
+        )
+        assert slow.observations[0].time > base.observations[0].time
+
+
+# ---------------------------------------------------------------------------
+# the optimizer
+# ---------------------------------------------------------------------------
+
+
+class TestFitMachine:
+    def test_recovers_known_parameters(self, synthetic):
+        """The headline acceptance test: fitting the truth paths against
+        synthetic observations recovers the known values."""
+        result = fit_machine(
+            synthetic, sorted(TRUTH), rounds=28, samples=9
+        )
+        assert result.loss < 1e-6
+        assert result.loss < result.initial_loss
+        for path, truth in TRUTH.items():
+            rel = abs(result.fitted[path] - truth) / truth
+            assert rel < 0.05, f"{path}: fitted {result.fitted[path]:g} " \
+                f"vs truth {truth:g} (rel {rel:.3g})"
+
+    def test_history_is_monotone(self, synthetic):
+        result = fit_machine(
+            synthetic, ("net.latency",), rounds=8, samples=9
+        )
+        losses = [h["loss"] for h in result.history]
+        assert losses == sorted(losses, reverse=True)
+        assert result.evaluations >= len(result.history)
+
+    def test_respects_bounds(self, synthetic):
+        lo, hi = 1e-5, 2e-5  # truth (3.2e-5) lies outside: clamp to hi
+        result = fit_machine(
+            synthetic,
+            ("net.latency",),
+            bounds={"net.latency": (lo, hi)},
+            rounds=6,
+            samples=5,
+        )
+        assert lo <= result.fitted["net.latency"] <= hi
+
+    def test_no_paths_rejected(self, synthetic):
+        with pytest.raises(MachineError, match="at least one path"):
+            fit_machine(synthetic, ())
+
+    def test_bad_samples_rejected(self, synthetic):
+        with pytest.raises(MachineError, match="samples"):
+            fit_machine(synthetic, ("net.latency",), samples=2)
+
+    def test_empty_bound_rejected(self, synthetic):
+        with pytest.raises(MachineError, match="empty"):
+            fit_machine(
+                synthetic,
+                ("net.latency",),
+                bounds={"net.latency": (1e-4, 1e-5)},
+            )
+
+    def test_unknown_path_rejected(self, synthetic):
+        with pytest.raises(MachineError, match="unknown override path"):
+            fit_machine(synthetic, ("net.color",))
+
+
+class TestFitResult:
+    @pytest.fixture(scope="class")
+    def result(self, synthetic):
+        return fit_machine(
+            synthetic, ("net.latency",), rounds=6, samples=5
+        )
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = result.write_json(tmp_path / "fit.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == FIT_SCHEMA
+        assert doc["machine"] == "t3d" and doc["nprocs"] == 16
+        assert doc["paths"] == ["net.latency"]
+        assert doc["fitted"]["net.latency"] == result.fitted["net.latency"]
+        assert doc["rounds"] == result.rounds
+        assert doc["evaluations"] == result.evaluations
+        assert doc["history"] == result.history
+
+    def test_describe_mentions_fit(self, result):
+        text = result.describe()
+        assert "Fitted t3d/16" in text
+        assert "net.latency" in text

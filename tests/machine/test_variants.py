@@ -114,3 +114,120 @@ class TestVariantId:
         assert variant_id({"prim.*.knee_bytes": 64}) == variant_id(
             {"prim.*.knee_bytes": 64.0}
         )
+
+
+class TestPackVariantSpecs:
+    def setup_method(self):
+        from repro.machine import clear_pack_cache
+
+        clear_pack_cache()
+
+    def test_memoized_by_content(self):
+        from repro.machine import pack_cache_info, pack_variant_specs
+
+        specs = [{}, {"net.latency": 1e-6}]
+        a = pack_variant_specs("t3d", 16, "pvm", specs)
+        # a fresh-but-equal spec list (different dict objects) hits
+        b = pack_variant_specs(
+            "t3d", 16, "pvm", [dict(s) for s in specs]
+        )
+        assert a is b
+        info = pack_cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_distinct_specs_pack_distinct_matrices(self):
+        from repro.machine import pack_variant_specs
+
+        a = pack_variant_specs("t3d", 16, "pvm", [{}])
+        b = pack_variant_specs("t3d", 16, "pvm", [{"net.latency": 1e-6}])
+        c = pack_variant_specs("t3d", 64, "pvm", [{}])
+        assert a is not b and a is not c
+
+    def test_matches_direct_packing(self):
+        from repro.machine import pack_variant_specs
+        from repro.machine.factories import machine_by_name
+        from repro.machine.variants import pack_variants
+
+        overrides = [{}, {"prim.*.fixed": 8e-5}, {"net.bandwidth": 5e7}]
+        base = machine_by_name("t3d", 16, "pvm")
+        direct = pack_variants(
+            [apply_overrides(base, o) if o else base for o in overrides]
+        )
+        memo = pack_variant_specs("t3d", 16, "pvm", overrides)
+        assert memo.nvariants == direct.nvariants == 3
+        assert memo.base.name == direct.base.name
+
+    def test_clear_resets_statistics(self):
+        from repro.machine import (
+            clear_pack_cache,
+            pack_cache_info,
+            pack_variant_specs,
+        )
+
+        pack_variant_specs("t3d", 16, "pvm", [{}])
+        clear_pack_cache()
+        info = pack_cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.currsize == 0
+
+
+class TestOverrideValue:
+    def test_scalar_path_reads_current_value(self):
+        from repro.machine import override_value
+
+        machine = t3d(16)
+        assert override_value(machine, "net.latency") == pytest.approx(
+            machine.network.latency
+        )
+
+    def test_star_reads_largest_primitive(self):
+        from repro.machine import override_value
+
+        machine = t3d(16)
+        values = [p.fixed for p in machine.primitives.values()]
+        assert override_value(machine, "prim.*.fixed") == max(values)
+
+    def test_applied_override_reads_back(self):
+        from repro.machine import override_value
+
+        derived = apply_overrides(t3d(16), {"net.latency": 7e-6})
+        assert override_value(derived, "net.latency") == 7e-6
+
+    def test_unknown_path_rejected(self):
+        from repro.machine import override_value
+
+        with pytest.raises(MachineError, match="unknown override path"):
+            override_value(t3d(16), "net.color")
+
+
+class TestDefaultBounds:
+    def test_brackets_current_value(self):
+        from repro.machine import default_bounds, override_value
+
+        machine = t3d(16)
+        lo, hi = default_bounds(machine, "net.latency")
+        assert lo < override_value(machine, "net.latency") < hi
+
+    def test_zero_value_gets_fallback(self):
+        from repro.machine import default_bounds
+
+        derived = apply_overrides(t3d(16), {"prim.*.per_byte_beyond": 0.0})
+        lo, hi = default_bounds(derived, "prim.*.per_byte_beyond")
+        assert lo == 0.0 and hi > 0.0
+
+    def test_bandwidth_stays_positive(self):
+        from repro.machine import default_bounds
+
+        lo, hi = default_bounds(t3d(16), "net.bandwidth")
+        assert lo > 0.0 and hi > lo
+
+    def test_integral_bounds_are_integers(self):
+        from repro.machine import default_bounds
+
+        lo, hi = default_bounds(t3d(16), "prim.*.knee_bytes")
+        assert lo == int(lo) and hi == int(hi) and hi > lo
+
+    def test_bad_span_rejected(self):
+        from repro.machine import default_bounds
+
+        with pytest.raises(MachineError, match="span"):
+            default_bounds(t3d(16), "net.latency", span=1.0)

@@ -245,3 +245,62 @@ class TestFanOut:
             obs.add("c")
         lines = (tmp_path / "e.jsonl").read_text().splitlines()
         assert len(lines) == len(mem.records) == 2  # counter + metrics
+
+
+class TestConcurrency:
+    def test_threaded_emission_stays_valid_jsonl(self, tmp_path):
+        """Background emitters (the HTTP cache server, progress
+        streams) share the recorder with the host thread; fan-out
+        serializes, so the log stays one valid JSON object per line."""
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        recorder = obs.configure(JsonlSink(path))
+
+        def hammer(tag):
+            for i in range(200):
+                recorder.event(f"{tag}.tick", i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"t{n}",))
+            for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        obs.shutdown()
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert sum(r["type"] == "event" for r in records) == 800
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        sink = JsonlSink(tmp_path / "late.jsonl")
+        sink.emit({"type": "event", "name": "a"})
+        sink.close()
+        sink.emit({"type": "event", "name": "late"})  # no raise
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "late.jsonl").read_text().splitlines()
+        ]
+        assert [r["name"] for r in records] == ["a"]
+
+    def test_fork_does_not_duplicate_buffered_records(self, tmp_path):
+        """A forked child inherits the sink's unflushed buffer; the
+        before-fork flush leaves it nothing to write twice."""
+        import multiprocessing
+
+        path = tmp_path / "events.jsonl"
+        recorder = obs.configure(JsonlSink(path))
+        for i in range(50):
+            recorder.event("parent.tick", i=i)  # sits in the buffer
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=obs.discard)
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0
+        obs.shutdown()
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert sum(r.get("name") == "parent.tick" for r in records) == 50

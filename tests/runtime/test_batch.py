@@ -402,3 +402,83 @@ class TestDenseGrid:
             scalar = scalar_fast(program, machine)
             assert float(run.times[v]) == scalar.time
             assert np.array_equal(run.clocks[v], scalar.clocks)
+
+
+# ---------------------------------------------------------------------------
+# the incremental-append evaluator
+# ---------------------------------------------------------------------------
+
+
+class TestBatchEvaluator:
+    def test_incremental_append_bit_identity(self):
+        """Appending variant batches against shared lowered state gives
+        the same rows as standalone scalar runs, bit for bit."""
+        from repro.runtime import BatchEvaluator
+
+        program = _steady_program("cc")
+        base = machine_for("t3d")("cc")
+        ev = BatchEvaluator(program, base)
+        first = _variants(base, DIVERSE_OVERRIDES[:3])
+        second = _variants(base, DIVERSE_OVERRIDES[3:])
+        run1 = ev.evaluate(first)
+        run2 = ev.evaluate(second)
+        assert ev.calls == 2
+        assert ev.variants_evaluated == len(DIVERSE_OVERRIDES)
+        for v, machine in enumerate(first):
+            assert_row_parity(run1, v, scalar_fast(program, machine))
+        for v, machine in enumerate(second):
+            assert_row_parity(run2, v, scalar_fast(program, machine))
+
+    def test_matches_one_shot_simulate_many(self):
+        from repro.runtime import BatchEvaluator
+
+        program = _steady_program("rr")
+        base = machine_for("t3d")("rr")
+        variants = _variants(base, DIVERSE_OVERRIDES)
+        ev_run = BatchEvaluator(program, base).evaluate(variants)
+        one_shot = simulate_many(program, variants).run(program.name)
+        assert np.array_equal(ev_run.times, one_shot.times)
+        assert np.array_equal(ev_run.clocks, one_shot.clocks)
+
+    def test_mismatched_variant_base_rejected(self):
+        from repro.runtime import BatchEvaluator
+
+        program = _steady_program("cc")
+        ev = BatchEvaluator(program, machine_for("t3d")("cc"))
+        other = machine_for("paragon")("cc")
+        with pytest.raises(RuntimeFault, match="this evaluator was built"):
+            ev.evaluate([other])
+
+    def test_process_cache_reuses_by_identity(self):
+        from repro.runtime import batch_evaluator, clear_batch_evaluators
+
+        program = _steady_program("cc")
+        base = machine_for("t3d")("cc")
+        clear_batch_evaluators()
+        try:
+            ev = batch_evaluator(program, base)
+            assert batch_evaluator(program, base) is ev
+            # a different repeat_cap is different lowered state
+            assert batch_evaluator(program, base, repeat_cap=7) is not ev
+            clear_batch_evaluators()
+            assert batch_evaluator(program, base) is not ev
+        finally:
+            clear_batch_evaluators()
+
+    def test_simulate_many_routes_through_cached_evaluator(self):
+        from repro.runtime import batch_evaluator, clear_batch_evaluators
+
+        program = _steady_program("cc")
+        base = machine_for("t3d")("cc")
+        variants = _variants(base, DIVERSE_OVERRIDES[:2])
+        clear_batch_evaluators()
+        try:
+            simulate_many(program, variants)
+            ev = batch_evaluator(program, base)
+            assert ev.calls >= 1  # simulate_many populated the cache
+            before = ev.calls
+            simulate_many(program, variants)
+            assert batch_evaluator(program, base) is ev
+            assert ev.calls == before + 1
+        finally:
+            clear_batch_evaluators()

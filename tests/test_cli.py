@@ -572,3 +572,99 @@ def test_top_streams_a_finished_study(tmp_path, capsys):
 def test_top_fails_cleanly_when_unreachable(capsys):
     assert main(["top", "http://127.0.0.1:9", "--timeout", "1"]) == 1
     assert "cannot reach" in capsys.readouterr().err
+
+
+def test_frontier_refine_localizes_crossover(tmp_path, capsys):
+    assert main([
+        "frontier",
+        "--refine", "prim.*.per_byte_beyond=0:1e-6",
+        "--tol", "1e-8",
+        "--coarse", "5",
+        "--nprocs", "16",
+        "--bench", "simple",
+        "--keys", "baseline", "rr", "cc",
+        "--set", "prim.*.knee_bytes=32",
+        "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--json", str(tmp_path / "refined.json"),
+        "--csv", str(tmp_path / "refined.csv"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Refined prim.*.per_byte_beyond" in out
+    assert "Localized crossovers" in out
+    assert "win->loss" in out
+    assert (tmp_path / "refined.json").exists()
+    assert (tmp_path / "refined.csv").exists()
+
+
+def test_frontier_dense_two_axis_map(tmp_path, capsys):
+    assert main([
+        "frontier",
+        "--axis", "prim.*.per_byte_beyond=0,5e-7,1e-6",
+        "--axis", "net.latency=1e-5,5e-5",
+        "--nprocs", "16",
+        "--bench", "simple",
+        "--keys", "baseline", "cc",
+        "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Winner grid" in out
+
+
+def test_frontier_requires_exactly_one_mode(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["frontier", "--bench", "simple"])
+    with pytest.raises(SystemExit):
+        main([
+            "frontier",
+            "--refine", "net.latency=0:1",
+            "--tol", "1e-3",
+            "--axis", "net.latency=1,2",
+            "--axis", "net.bandwidth=1e8,2e8",
+        ])
+
+
+def test_fit_synthetic_recovers_latency(tmp_path, capsys):
+    assert main([
+        "fit",
+        "--synthetic", "net.latency=3.2e-5",
+        "--nprocs", "16",
+        "--keys", "baseline",
+        "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+        "--rounds", "10",
+        "--json", str(tmp_path / "fit.json"),
+        "--write-target", str(tmp_path / "target.json"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Fitted t3d/16" in out
+    assert "Recovery vs synthetic ground truth" in out
+    assert (tmp_path / "fit.json").exists()
+    assert (tmp_path / "target.json").exists()
+
+
+def test_fit_from_target_file(tmp_path, capsys):
+    assert main([
+        "fit",
+        "--synthetic", "net.latency=3.2e-5",
+        "--nprocs", "16",
+        "--keys", "baseline",
+        "--config", "n=16", "--config", "niters=2", "--config", "ncond=2",
+        "--rounds", "2",
+        "--write-target", str(tmp_path / "target.json"),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "fit", str(tmp_path / "target.json"),
+        "--fit", "net.latency",
+        "--rounds", "4",
+    ]) == 0
+    assert "Fitted t3d/16" in capsys.readouterr().out
+
+
+def test_fit_rejects_target_plus_synthetic(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "fit", str(tmp_path / "nope.json"),
+            "--synthetic", "net.latency=1e-5",
+        ])
