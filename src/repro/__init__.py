@@ -103,6 +103,11 @@ from repro.frontend import analyze, parse
 from repro.ir import emit_c, lower
 from repro.machine import Machine, machine_by_name, paragon, t3d
 from repro.programs.common import compile_source as compile_program
+from repro.programs.generate import (
+    GeneratorProfile,
+    generate_program,
+    generate_source,
+)
 from repro.runtime import (
     BatchResult,
     BatchRun,
@@ -115,6 +120,25 @@ from repro.runtime import (
 )
 
 __version__ = "1.0.0"
+
+#: Lazily re-exported names (PEP 562): the composition study lives in
+#: the analysis layer, which sits *above* the engine — importing it
+#: eagerly here would make ``import repro.engine`` load the analysis
+#: package and break the layering the registry split established.
+_LAZY_EXPORTS = {
+    "run_composition": "repro.analysis.composition",
+    "CompositionCell": "repro.analysis.composition",
+    "CompositionResult": "repro.analysis.composition",
+}
+
+
+def __getattr__(name):
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(target), name)
 
 __all__ = [
     # compilation
@@ -129,8 +153,15 @@ __all__ = [
     "PipelineReport",
     "optimize_with_report",
     "static_comm_count",
+    # program generation
+    "GeneratorProfile",
+    "generate_program",
+    "generate_source",
     # the experiment engine
     "run_study",
+    "run_composition",
+    "CompositionCell",
+    "CompositionResult",
     "run_sweep",
     "run_refined_sweep",
     "RefinedSweep",

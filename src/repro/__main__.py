@@ -81,6 +81,28 @@ machine-parameter overrides, and ``--no-fast-path``.
     joint-grid refinement, reporting the fitted values, loss, and —
     for synthetic targets — the recovery error; see ``docs/SWEEPS.md``.
 
+``compose``
+    Run the optimization-composition study: measure each optimization
+    *alone* (``rr``, ``cc_only``, ``pl_only``) plus the full pipeline
+    over a program x machine-variant grid and report the composition
+    factor — the measured combined speedup over the product of the
+    single-optimization speedups (1 = multiplicative, <1 = overlapping
+    savings, >1 = enabling).  Accepts the paper's benchmarks, the
+    classic kernels, and generated ``gen_<seed>`` programs (``--gen N``
+    appends a seeded batch); ``--variant PATH=VALUE[,...]`` adds
+    machine variants to the default base + high-latency pair;
+    ``--small`` runs every program at its test-sized config;
+    ``--csv``/``--json`` emit the artifacts.  See ``docs/PROGRAMS.md``.
+
+``generate``
+    Emit a seeded synthetic ZL program (the ``gen_<seed>`` family):
+    print or ``--out`` the deterministic source, ``--count N`` for a
+    batch, ``--profile FIELD=VALUE`` to steer the feature profile, and
+    ``--check`` to run the differential harness (compiled fast path vs
+    interpreted oracle on both machines under baseline and full
+    optimization, then optimized numerics vs the sequential reference),
+    exiting nonzero with a copy-pasteable repro line per failing seed.
+
 ``cache``
     Inspect and maintain a result-cache backend: ``cache stats`` prints
     the entry/byte totals and per-schema census, ``cache prune`` removes
@@ -129,9 +151,16 @@ from repro.analysis import scaling
 from repro.comm import registered_passes
 from repro.engine import BACKEND_KINDS, DISPATCHER_KINDS, Job, MachineSpec
 from repro.errors import ExperimentError
+from repro.experiments_registry import COMPOSITION_KEYS
 from repro.frontend import parse_config_assignments
-from repro.programs import BENCHMARKS, benchmark_source
+from repro.programs import BENCHMARKS, KERNELS, benchmark_source, validate_benchmark
 from repro.sweep.axes import parse_axes
+
+#: Every key the CLI accepts: the paper's six plus the composition
+#: study's single-optimization keys.
+ALL_KEYS = EXPERIMENT_KEYS + tuple(
+    k for k in COMPOSITION_KEYS if k not in EXPERIMENT_KEYS
+)
 
 
 def _parse_config(pairs):
@@ -143,6 +172,15 @@ def _parse_config(pairs):
 
 def _opt_for(key: str) -> OptimizationConfig:
     return experiment_spec(key).opt
+
+
+def _benchmark(text: str) -> str:
+    """Argparse ``type=`` accepting any registry name — the paper's
+    benchmarks, the kernel corpus, and ``gen_<seed>``."""
+    try:
+        return validate_benchmark(text)
+    except ExperimentError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _positive_int(text: str) -> int:
@@ -702,6 +740,189 @@ def cmd_fit(args) -> int:
     return 0
 
 
+def _parse_variant(text: str):
+    """One ``--variant`` flag: comma-separated ``PATH=VALUE`` overrides."""
+    try:
+        return parse_config_assignments([p for p in text.split(",") if p])
+    except ValueError as exc:
+        raise SystemExit(f"--variant: {exc}") from None
+
+
+def cmd_compose(args) -> int:
+    from repro.analysis import composition as comp
+    from repro.programs import small_config
+
+    benches = list(args.bench or (BENCHMARKS + KERNELS))
+    if args.gen:
+        benches.extend(
+            f"gen_{seed}"
+            for seed in range(args.gen_seed, args.gen_seed + args.gen)
+        )
+    config = _parse_config(args.config)
+    pinned = _parse_set(args.set)
+    config_overrides = {}
+    for bench in benches:
+        merged = dict(small_config(bench)) if args.small else {}
+        if config:
+            merged.update(config)
+        if merged:
+            config_overrides[bench] = merged
+    variants = None
+    if args.variant:
+        # the unswept base machine always anchors the grid
+        variants = [{}] + [_parse_variant(v) for v in args.variant]
+    try:
+        result = comp.run_composition(
+            benchmarks=benches,
+            machine=MachineSpec.coerce(
+                args.machine, overrides=pinned or None
+            ),
+            nprocs=args.nprocs,
+            library=args.library,
+            variants=variants,
+            config_overrides=config_overrides or None,
+            fast=False if args.no_fast_path else None,
+            telemetry=args.telemetry,
+            **_engine_kwargs(args),
+        )
+    except (MachineError, ExperimentError) as exc:
+        raise SystemExit(f"compose: {exc}") from None
+    print(comp.format_composition_report(result))
+    if args.csv:
+        print(f"\ncomposition CSV written:  {comp.write_csv(args.csv, result)}")
+    if args.json:
+        print(f"composition JSON written: {comp.write_json(args.json, result)}")
+    return 0
+
+
+def _parse_profile(pairs):
+    """``--profile FIELD=VALUE`` pairs -> GeneratorProfile (None if empty)."""
+    from dataclasses import fields, replace
+
+    from repro.programs.generate import DEFAULT_PROFILE, GeneratorProfile
+
+    if not pairs:
+        return None
+    names = {f.name for f in fields(GeneratorProfile)}
+    kwargs = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--profile: {pair!r} is not FIELD=VALUE")
+        if name not in names:
+            raise SystemExit(
+                f"--profile: unknown field {name!r} "
+                f"(valid: {', '.join(sorted(names))})"
+            )
+        kind = type(getattr(DEFAULT_PROFILE, name))
+        try:
+            kwargs[name] = kind(value)
+        except ValueError:
+            raise SystemExit(
+                f"--profile: {name} expects {kind.__name__}, got {value!r}"
+            ) from None
+    try:
+        return replace(DEFAULT_PROFILE, **kwargs)
+    except ExperimentError as exc:
+        raise SystemExit(f"--profile: {exc}") from None
+
+
+def _check_generated(seed, profile):
+    """The differential harness behind ``generate --check``: compiled
+    fast path vs interpreted oracle (TIMING, both machines, baseline and
+    full optimization), then full-optimization NUMERIC vs the sequential
+    reference.  Returns human-readable mismatch descriptions."""
+    import numpy as np
+
+    from repro import reference_run, t3d
+    from repro.machine import paragon
+    from repro.programs import generate as gen
+
+    problems = []
+    programs = {
+        key: gen.generate_program(seed, profile, opt=opt)
+        for key, opt in (
+            ("baseline", OptimizationConfig.baseline()),
+            ("full", OptimizationConfig.full()),
+        )
+    }
+    for machine_name, machine in (("t3d", t3d(4)), ("paragon", paragon(4))):
+        for opt_name, program in programs.items():
+            fast = simulate(
+                program, machine, options=SimOptions.timing(fast=True)
+            )
+            slow = simulate(
+                program, machine, options=SimOptions.timing(fast=False)
+            )
+            if fast.time != slow.time or not np.array_equal(
+                fast.clocks, slow.clocks
+            ):
+                problems.append(
+                    f"fast path diverges from oracle ({opt_name} on "
+                    f"{machine_name}: {fast.time!r} vs {slow.time!r})"
+                )
+    ref = reference_run(programs["baseline"])
+    num = simulate(programs["full"], t3d(4), ExecutionMode.NUMERIC)
+    for name in sorted(ref.arrays):
+        if not np.allclose(
+            num.array(name), ref.array(name), rtol=1e-9, atol=1e-9
+        ):
+            problems.append(
+                f"optimized numerics diverge from the reference "
+                f"(array {name!r})"
+            )
+    return problems
+
+
+def cmd_generate(args) -> int:
+    from repro.programs import generate as gen
+
+    profile = _parse_profile(args.profile)
+    out_dir = None
+    if args.out and args.count > 1:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failures = []
+    for seed in range(args.seed, args.seed + args.count):
+        try:
+            source = gen.generate_source(seed, profile)
+        except ExperimentError as exc:
+            raise SystemExit(f"generate: {exc}") from None
+        name = gen.generated_name(seed)
+        if out_dir is not None:
+            (out_dir / f"{name}.zl").write_text(source)
+        elif args.out:
+            Path(args.out).write_text(source)
+        elif not args.check:
+            print(source, end="" if source.endswith("\n") else "\n")
+        if args.check:
+            problems = _check_generated(seed, profile)
+            if problems:
+                failures.append(seed)
+                for problem in problems:
+                    print(f"FAIL {name}: {problem}", file=sys.stderr)
+            else:
+                print(f"ok {name}")
+    if args.out:
+        where = out_dir if out_dir is not None else args.out
+        print(f"wrote {args.count} program(s) to {where}", file=sys.stderr)
+    if failures:
+        profile_flags = "".join(
+            f" --profile {pair}" for pair in (args.profile or [])
+        )
+        print(
+            "generate: differential check failed; reproduce with:",
+            file=sys.stderr,
+        )
+        for seed in failures:
+            print(
+                f"  python -m repro generate {seed}{profile_flags} --check",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 _DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
 
 
@@ -903,13 +1124,13 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("compile", help="compile ZL to pseudo-C")
     p.add_argument("file")
-    p.add_argument("--opt", default="pl", choices=EXPERIMENT_KEYS)
+    p.add_argument("--opt", default="pl", choices=ALL_KEYS)
     p.add_argument("--config", action="append", metavar="NAME=VALUE")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile and simulate a ZL program")
     p.add_argument("file")
-    p.add_argument("--opt", default="pl", choices=EXPERIMENT_KEYS)
+    p.add_argument("--opt", default="pl", choices=ALL_KEYS)
     p.add_argument("--config", action="append", metavar="NAME=VALUE")
     p.add_argument("--machine", default="t3d")
     p.add_argument("--library", default=None)
@@ -922,7 +1143,8 @@ def main(argv=None) -> int:
         help="run the whole-program study",
         parents=[_sim_parent(64), _engine_parent()],
     )
-    p.add_argument("--bench", action="append", choices=BENCHMARKS)
+    p.add_argument("--bench", action="append", type=_benchmark,
+                   metavar="BENCH")
     p.add_argument("--config", action="append", metavar="NAME=VALUE",
                    help="config override applied to every benchmark")
     p.add_argument("--explain", action="store_true",
@@ -933,7 +1155,7 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "passes", help="list optimizer passes or dump a key's pipeline"
     )
-    p.add_argument("--key", default=None, choices=EXPERIMENT_KEYS,
+    p.add_argument("--key", default=None, choices=ALL_KEYS,
                    help="show the pipeline this experiment key compiles to")
     p.set_defaults(func=cmd_passes)
 
@@ -942,12 +1164,12 @@ def main(argv=None) -> int:
         help="run one benchmark's study with tracing on",
         parents=[_sim_parent(64), _engine_parent()],
     )
-    p.add_argument("bench", choices=BENCHMARKS)
+    p.add_argument("bench", type=_benchmark, metavar="BENCH")
     p.add_argument("--out", required=True, metavar="PATH",
                    help="Chrome trace-event output file (open in Perfetto)")
     p.add_argument("--jsonl", default=None, metavar="PATH",
                    help="also write the raw structured event log")
-    p.add_argument("--opt", default="pl", choices=EXPERIMENT_KEYS,
+    p.add_argument("--opt", default="pl", choices=ALL_KEYS,
                    help="experiment key for the bridged per-rank timelines")
     p.add_argument("--machine", default="t3d")
     p.add_argument("--config", action="append", metavar="NAME=VALUE")
@@ -959,7 +1181,8 @@ def main(argv=None) -> int:
         "compare", help="diff a study's metrics against a baseline"
     )
     p.add_argument("--baseline", required=True, metavar="PATH")
-    p.add_argument("--bench", action="append", choices=BENCHMARKS,
+    p.add_argument("--bench", action="append", type=_benchmark,
+                   metavar="BENCH",
                    help="benchmarks to run (default: the baseline's)")
     p.add_argument("--procs", type=int, default=None,
                    help="processor count (default: the baseline's)")
@@ -985,10 +1208,11 @@ def main(argv=None) -> int:
                    help="a swept axis: nprocs, net.latency, net.bandwidth, "
                    "net.raw_latency, compute.*, reduction.stage_cost, or "
                    "prim.<name|*>.<field> (repeatable; grid is the product)")
-    p.add_argument("--bench", action="append", choices=BENCHMARKS)
-    p.add_argument("--keys", nargs="+", choices=EXPERIMENT_KEYS, default=None,
+    p.add_argument("--bench", action="append", type=_benchmark,
+                   metavar="BENCH")
+    p.add_argument("--keys", nargs="+", choices=ALL_KEYS, default=None,
                    help="experiment keys to run at every point "
-                   "(default: all six)")
+                   "(default: the paper's six)")
     p.add_argument("--machine", default="t3d",
                    help="base machine the variants derive from (t3d/paragon)")
     p.add_argument("--library", default=None,
@@ -1024,8 +1248,9 @@ def main(argv=None) -> int:
     p.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
                    help="dense mode: exactly two cost axes — the first is "
                    "scanned for crossings at each value of the second")
-    p.add_argument("--bench", action="append", choices=BENCHMARKS)
-    p.add_argument("--keys", nargs="+", choices=EXPERIMENT_KEYS, default=None)
+    p.add_argument("--bench", action="append", type=_benchmark,
+                   metavar="BENCH")
+    p.add_argument("--keys", nargs="+", choices=ALL_KEYS, default=None)
     p.add_argument("--machine", default="t3d",
                    help="base machine the variants derive from (t3d/paragon)")
     p.add_argument("--library", default=None)
@@ -1060,9 +1285,10 @@ def main(argv=None) -> int:
     p.add_argument("--samples", type=_positive_int, default=9,
                    help="samples per path per round; the full cartesian "
                    "product is evaluated per round (default 9)")
-    p.add_argument("--bench", action="append", choices=BENCHMARKS,
+    p.add_argument("--bench", action="append", type=_benchmark,
+                   metavar="BENCH",
                    help="benchmarks for --synthetic cells (default simple)")
-    p.add_argument("--keys", nargs="+", choices=EXPERIMENT_KEYS, default=None,
+    p.add_argument("--keys", nargs="+", choices=ALL_KEYS, default=None,
                    help="experiment keys for --synthetic cells "
                    "(default baseline cc)")
     p.add_argument("--library", default=None)
@@ -1074,6 +1300,60 @@ def main(argv=None) -> int:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the fit result document as JSON")
     p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser(
+        "compose",
+        help="run the optimization-composition study",
+        parents=[_sim_parent(64), _engine_parent()],
+    )
+    p.add_argument("--bench", action="append", type=_benchmark,
+                   metavar="BENCH",
+                   help="programs to measure (repeatable; default: the "
+                   "paper's four plus the kernel corpus; gen_<seed> works)")
+    p.add_argument("--gen", type=_positive_int, default=None, metavar="N",
+                   help="also measure N generated programs "
+                   "(seeds --gen-seed .. --gen-seed+N-1)")
+    p.add_argument("--gen-seed", type=int, default=0, metavar="S",
+                   help="first seed for --gen (default 0)")
+    p.add_argument("--variant", action="append",
+                   metavar="PATH=VALUE[,PATH=VALUE...]",
+                   help="a machine variant's overrides (repeatable; the "
+                   "unswept base is always included; default: base plus "
+                   "a 10x-latency variant)")
+    p.add_argument("--machine", default="t3d",
+                   help="base machine the variants derive from (t3d/paragon)")
+    p.add_argument("--library", default=None,
+                   help="communication library override (default pvm)")
+    p.add_argument("--small", action="store_true",
+                   help="run every program at its test-sized config")
+    p.add_argument("--config", action="append", metavar="NAME=VALUE",
+                   help="config override applied to every program")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="write the per-cell composition table as CSV")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full composition document as JSON")
+    p.set_defaults(func=cmd_compose)
+
+    p = sub.add_parser(
+        "generate",
+        help="emit a seeded synthetic ZL program (gen_<seed>)",
+    )
+    p.add_argument("seed", type=int,
+                   help="generator seed (the program is named gen_<seed>)")
+    p.add_argument("--count", type=_positive_int, default=1, metavar="N",
+                   help="emit N programs (seeds seed .. seed+N-1)")
+    p.add_argument("--profile", action="append", metavar="FIELD=VALUE",
+                   help="feature-profile override (repeatable; e.g. "
+                   "phases=3, wrap_prob=0.5; see GeneratorProfile)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the source here instead of stdout "
+                   "(a directory of <name>.zl files when --count > 1)")
+    p.add_argument("--check", action="store_true",
+                   help="run the differential harness per seed (fast path "
+                   "vs oracle on both machines, optimized numerics vs the "
+                   "sequential reference); exit 1 with a repro line per "
+                   "failing seed")
+    p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser(
         "cache", help="inspect and maintain a result-cache backend"

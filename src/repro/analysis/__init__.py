@@ -8,9 +8,19 @@ defined in :mod:`repro.experiments_registry`;
 optimizer pass using engine telemetry;
 :mod:`repro.analysis.scaling` turns :mod:`repro.sweep` results into
 per-optimization curves, crossovers, and CSV/JSON documents;
+:mod:`repro.analysis.composition` measures whether rr/cc/pl compose
+multiplicatively (predicted-from-singles vs measured-combined) across
+the benchmark x machine-variant grid;
 :mod:`repro.analysis.report` renders them as aligned text tables.
 """
 
+from repro.analysis.composition import (
+    CompositionCell,
+    CompositionResult,
+    composition_rows,
+    format_composition_report,
+    run_composition,
+)
 from repro.analysis.attribution import (
     figure8_by_pass,
     pass_attribution,
@@ -44,8 +54,13 @@ from repro.analysis.scaling import (
 
 __all__ = [
     "EXPERIMENT_KEYS",
+    "CompositionCell",
+    "CompositionResult",
     "ContourPoint",
     "Crossover",
+    "composition_rows",
+    "format_composition_report",
+    "run_composition",
     "ParetoPoint",
     "crossover_map",
     "pareto_front",

@@ -69,6 +69,12 @@ def paper_value(benchmark: str, experiment: str) -> Tuple[int, int, float]:
     return _PAPER_TABLES[benchmark][experiment]
 
 
+def has_paper_values(benchmark: str) -> bool:
+    """Whether the paper reports a table for ``benchmark`` — False for
+    kernels and generated programs, which get measured-only tables."""
+    return benchmark in _PAPER_TABLES
+
+
 # ---------------------------------------------------------------------------
 # machine-description figures
 # ---------------------------------------------------------------------------
@@ -286,34 +292,33 @@ def table_full(
     benchmark: str, results: Mapping[str, List[ExperimentResult]]
 ) -> Rows:
     """One of Tables 1-4: full counts and times for every experiment,
-    with the paper's values alongside."""
+    with the paper's values alongside.  Benchmarks the paper does not
+    report (kernels, generated programs) get measured-only tables."""
     headers = [
         "experiment",
         "static",
         "dynamic",
         "time (s)",
         "scaled",
-        "paper static",
-        "paper dynamic",
-        "paper scaled",
     ]
+    with_paper = has_paper_values(benchmark)
+    if with_paper:
+        headers += ["paper static", "paper dynamic", "paper scaled"]
     by = _by_key(results[benchmark])
     base = by["baseline"]
-    p_base = paper_value(benchmark, "baseline")
+    p_base = paper_value(benchmark, "baseline") if with_paper else None
     rows = []
     for key in EXPERIMENT_KEYS:
         r = by[key]
-        ps, pd, pt = paper_value(benchmark, key)
-        rows.append(
-            [
-                key,
-                r.static_count,
-                r.dynamic_count,
-                r.execution_time,
-                r.scaled_to(base),
-                ps,
-                pd,
-                pt / p_base[2],
-            ]
-        )
+        row = [
+            key,
+            r.static_count,
+            r.dynamic_count,
+            r.execution_time,
+            r.scaled_to(base),
+        ]
+        if with_paper:
+            ps, pd, pt = paper_value(benchmark, key)
+            row += [ps, pd, pt / p_base[2]]
+        rows.append(row)
     return (headers, rows)

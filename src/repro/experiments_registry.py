@@ -49,6 +49,21 @@ EXPERIMENT_KEYS: Tuple[str, ...] = (
     "pl_maxlat",
 )
 
+#: The composition study's keys (:mod:`repro.analysis.composition`).
+#: The paper's keys are *cumulative* (``cc`` means rr+cc), so ratios
+#: between adjacent keys multiply to exactly the combined ratio — a
+#: circular calculation that would make every composition factor 1 by
+#: construction.  Independent prediction needs each optimization
+#: measured *alone*; ``cc_only``/``pl_only`` exist for that and are
+#: deliberately not part of the paper's key set above.
+COMPOSITION_KEYS: Tuple[str, ...] = (
+    "baseline",
+    "rr",
+    "cc_only",
+    "pl_only",
+    "pl",
+)
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -141,6 +156,22 @@ _SPECS: Dict[str, ExperimentSpec] = {
             "shmem",
             "pl with shmem, combining for maximum latency hiding",
         ),
+        # single-optimization keys for the composition study: each
+        # optimization alone over the vectorized baseline (the pass
+        # legality model admits both — combining's redundancy ordering
+        # is a soft constraint, pipelining is merely terminal)
+        ExperimentSpec(
+            "cc_only",
+            OptimizationConfig(cc=True),
+            "pvm",
+            "combining communication alone (composition study)",
+        ),
+        ExperimentSpec(
+            "pl_only",
+            OptimizationConfig(pl=True),
+            "pvm",
+            "pipelining alone (composition study)",
+        ),
     )
 }
 
@@ -151,7 +182,7 @@ def experiment_spec(key: str) -> ExperimentSpec:
         return _SPECS[key]
     except KeyError:
         raise ExperimentError(
-            f"unknown experiment {key!r} (valid: {', '.join(EXPERIMENT_KEYS)})"
+            f"unknown experiment {key!r} (valid: {', '.join(_SPECS)})"
         ) from None
 
 
@@ -172,6 +203,7 @@ class ExperimentResult:
 
 
 __all__ = [
+    "COMPOSITION_KEYS",
     "EXPERIMENT_KEYS",
     "ExperimentResult",
     "ExperimentSpec",

@@ -285,6 +285,24 @@ class Recorder:
         return None
 
     # -- emission ------------------------------------------------------
+    def add_sink(self, sink: Any) -> None:
+        """Attach ``sink`` atomically with respect to concurrent emits.
+
+        Mutating :attr:`sinks` directly from another thread can make an
+        in-flight :meth:`emit` iteration skip a sink entirely — use
+        this and :meth:`remove_sink` for run-scoped sinks.
+        """
+        with self._emit_lock:
+            self.sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach ``sink``; a no-op if it is not attached."""
+        with self._emit_lock:
+            try:
+                self.sinks.remove(sink)
+            except ValueError:
+                pass
+
     def emit(self, record: dict) -> None:
         if "trace" not in record:
             bound = _RUN_TRACE.get()

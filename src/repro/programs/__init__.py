@@ -32,6 +32,14 @@ describes and depends on:
     x/y line-solve sweeps with cross-iteration dependences, and
     band-confined phases.
 
+Beyond the paper's four, the registry also serves a classic-kernel
+corpus (``jacobi``, ``rbgs``, ``multigrid`` — see each module for why
+its communication shape adds coverage the paper's programs lack) and
+*generated* synthetic programs: any ``gen_<seed>`` name resolves
+through :mod:`repro.programs.generate`, the seeded ZL program
+generator.  All three families flow through every surface (studies,
+sweeps, frontier, composition, serve) identically.
+
 Each module exposes ``SOURCE`` (the ZL text), ``DEFAULT_CONFIG``, and a
 ``build(config=..., opt=...)`` helper returning an optimized
 :class:`~repro.ir.nodes.IRProgram`.  :mod:`repro.programs.registry` maps
@@ -40,16 +48,22 @@ names to modules for the harness.
 
 from repro.programs.registry import (
     BENCHMARKS,
+    KERNELS,
+    available_benchmarks,
     build_benchmark,
     benchmark_source,
     default_config,
     small_config,
+    validate_benchmark,
 )
 
 __all__ = [
     "BENCHMARKS",
+    "KERNELS",
+    "available_benchmarks",
     "build_benchmark",
     "benchmark_source",
     "default_config",
     "small_config",
+    "validate_benchmark",
 ]

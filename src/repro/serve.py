@@ -73,6 +73,9 @@ _STREAM_POLL_S = 0.05
 #: retained progress logs; finished logs are evicted oldest-first past this
 _PROGRESS_CAP = 128
 
+#: serializes the lazy one-time obs.configure() across worker threads
+_RECORDER_SETUP = threading.Lock()
+
 #: request-payload keys forwarded to :func:`repro.run_study`
 _STUDY_KEYS = frozenset(
     {
@@ -304,16 +307,20 @@ class ServeApp:
         id, with a QueueSink (filtered to that trace) feeding the
         progress log — concurrent runs in one serving process never
         cross-talk their job events."""
-        if not obs.enabled():
-            # progress streaming needs a live recorder; an empty one is
-            # the minimum (the CLI installs a MemorySink anyway)
-            obs.configure()
-        recorder = obs.current()
         run_trace = uuid.uuid4().hex
         sink = QueueSink(
             _ProgressAdapter(log), types=("event",), trace=run_trace
         )
-        recorder.sinks.append(sink)
+        with _RECORDER_SETUP:
+            # two submissions racing this check would each configure()
+            # a fresh recorder, orphaning the loser's sink — serialize
+            # so exactly one recorder serves the whole process
+            if not obs.enabled():
+                # progress streaming needs a live recorder; an empty
+                # one is the minimum (the CLI installs a MemorySink)
+                obs.configure()
+            recorder = obs.current()
+        recorder.add_sink(sink)
         try:
             with obs.bind_trace(run_trace):
                 result = work(payload)
@@ -332,10 +339,9 @@ class ServeApp:
             )
             return result
         finally:
-            try:
-                recorder.sinks.remove(sink)
-            except ValueError:
-                pass
+            # atomic w.r.t. emits: a bare list.remove here can make a
+            # concurrent run's emit iteration skip its own sink
+            recorder.remove_sink(sink)
 
     def _settle(self, key: str, task: "asyncio.Future") -> None:
         self._inflight.pop(key, None)

@@ -274,6 +274,40 @@ class TestConcurrency:
         records = [json.loads(line) for line in lines]
         assert sum(r["type"] == "event" for r in records) == 800
 
+    def test_sink_churn_never_skips_a_stable_sink(self):
+        """Run-scoped sinks attach/detach while other runs emit (the
+        serve progress pattern).  A bare list.remove during an emit
+        iteration can shift a later sink over the iterator's cursor and
+        silently drop its record — add_sink/remove_sink must serialize
+        against emit so the stable sink sees every event."""
+        import threading
+
+        recorder = obs.configure()
+        stable = MemorySink()
+        recorder.add_sink(stable)
+        stop = threading.Event()
+
+        def churn():
+            # keep a transient sink cycling *before* the stable one in
+            # the list, maximizing the remove-under-iteration window
+            while not stop.is_set():
+                transient = MemorySink()
+                with recorder._emit_lock:
+                    recorder.sinks.insert(0, transient)
+                recorder.remove_sink(transient)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for i in range(2000):
+                recorder.event("tick", i=i)
+        finally:
+            stop.set()
+            churner.join()
+            obs.shutdown()
+        ticks = [r for r in stable.records if r.get("name") == "tick"]
+        assert len(ticks) == 2000
+
     def test_emit_after_close_is_dropped(self, tmp_path):
         sink = JsonlSink(tmp_path / "late.jsonl")
         sink.emit({"type": "event", "name": "a"})

@@ -668,3 +668,120 @@ def test_fit_rejects_target_plus_synthetic(tmp_path):
             "fit", str(tmp_path / "nope.json"),
             "--synthetic", "net.latency=1e-5",
         ])
+
+
+# ---------------------------------------------------------------------------
+# generate / compose (the synthetic-corpus and composition-study commands)
+# ---------------------------------------------------------------------------
+
+
+def test_generate_prints_deterministic_source(capsys):
+    assert main(["generate", "7"]) == 0
+    first = capsys.readouterr().out
+    assert "program gen_7;" in first
+    assert main(["generate", "7"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_generate_check_passes(capsys):
+    assert main(["generate", "1", "--check"]) == 0
+    assert "ok gen_1" in capsys.readouterr().out
+
+
+def test_generate_batch_to_directory(tmp_path, capsys):
+    out = tmp_path / "corpus"
+    assert main(["generate", "4", "--count", "3", "--out", str(out)]) == 0
+    assert sorted(p.name for p in out.iterdir()) == [
+        "gen_4.zl", "gen_5.zl", "gen_6.zl"
+    ]
+    assert "program gen_5;" in (out / "gen_5.zl").read_text()
+
+
+def test_generate_profile_steers_output(capsys):
+    assert main(["generate", "0", "--profile", "phases=3",
+                 "--profile", "n=12"]) == 0
+    out = capsys.readouterr().out
+    assert "config n      : integer = 12;" in out
+    assert "procedure phase2" in out
+
+
+def test_generate_rejects_bad_profile():
+    with pytest.raises(SystemExit, match="unknown field"):
+        main(["generate", "0", "--profile", "bogus=3"])
+    with pytest.raises(SystemExit, match="expects int"):
+        main(["generate", "0", "--profile", "phases=many"])
+    with pytest.raises(SystemExit):
+        main(["generate", "0", "--profile", "arrays=1"])
+
+
+def test_generate_rejects_negative_seed():
+    with pytest.raises(SystemExit, match="non-negative"):
+        main(["generate", "-3"])
+
+
+def test_compose_over_kernels_and_generated(tmp_path, capsys):
+    csv_path = tmp_path / "comp.csv"
+    json_path = tmp_path / "comp.json"
+    assert main([
+        "compose", "--small", "--nprocs", "4",
+        "--bench", "jacobi", "--bench", "rbgs",
+        "--gen", "1", "--gen-seed", "2",
+        "--variant", "net.latency=6e-5",
+        "--no-cache",
+        "--csv", str(csv_path), "--json", str(json_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Composition study — 3 programs x 2 variants" in out
+    assert "Composition factor (measured/predicted)" in out
+    assert "gen_2" in out
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("benchmark,machine,nprocs,variant,overrides,t_baseline")
+    import json as _json
+
+    doc = _json.loads(json_path.read_text())
+    assert doc["schema"] == 1
+    assert doc["benchmarks"] == ["jacobi", "rbgs", "gen_2"]
+
+
+def test_compose_rejects_unknown_benchmark(capsys):
+    with pytest.raises(SystemExit):
+        main(["compose", "--bench", "linpack"])
+
+
+def test_study_commands_accept_kernels_and_gen_names(tmp_path, capsys):
+    # the --bench relaxation: sweep takes a kernel, with composition keys
+    assert main([
+        "sweep", "--axis", "nprocs=4,8",
+        "--bench", "jacobi", "--keys", "baseline", "cc_only",
+        "--config", "n=12", "--config", "niters=1",
+        "--no-cache",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "jacobi" in out and "cc_only" in out
+
+
+def test_passes_explains_composition_keys(capsys):
+    assert main(["passes", "--key", "cc_only"]) == 0
+    out = capsys.readouterr().out
+    assert "combining communication alone" in out
+    assert "combining[max_combining]" in out
+
+    assert main(["passes", "--key", "pl_only"]) == 0
+    assert "pipelining" in capsys.readouterr().out
+
+
+def test_experiments_renders_measured_only_table_for_corpus_names(
+    tmp_path, capsys
+):
+    # regression: table_full crashed with KeyError('gen_1') for any
+    # benchmark the paper has no table for — kernels and generated
+    # programs must render measured-only tables instead
+    assert main([
+        "experiments", "--bench", "gen_1", "--nprocs", "4",
+        "--config", "n=12", "--config", "niters=1",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1 — gen_1" in out
+    assert "scaled" in out
+    assert "paper static" not in out
